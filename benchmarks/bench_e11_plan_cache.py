@@ -1,0 +1,93 @@
+"""E11 (ablation) — §1: "the generated code should perform and scale
+well" — the data tier's prepared-plan reuse.
+
+The generic unit services execute the *same* descriptor query on every
+request with different parameters, which is exactly what plan caching
+exists for.  This ablation measures page serving with the engine's plan
+cache enabled (the default: one parse+plan per distinct SQL text) versus
+disabled (re-parse and re-plan every execution) — quantifying a design
+choice DESIGN.md calls out for the substrate.
+"""
+
+import pytest
+
+from repro.bench import ExperimentReport, save_report
+from repro.services import GenericPageService
+from repro.workloads.acm import build_acm_application
+
+_RESULTS: dict[str, float] = {}
+
+
+class _NoPlanCacheDatabase:
+    """A proxy that defeats the plan cache by re-parsing per query."""
+
+    def __init__(self, database):
+        self._database = database
+
+    def __getattr__(self, name):
+        return getattr(self._database, name)
+
+    def query(self, sql, params=None):
+        from repro.rdb.planner import SelectPlan
+        from repro.rdb.sqlparser import parse_select
+
+        plan = SelectPlan(parse_select(sql), self._database.tables)
+        result = plan.execute(params)
+        self._database.stats.selects += 1
+        return result
+
+
+@pytest.fixture(scope="module")
+def serving():
+    app, oids = build_acm_application(volumes=4, issues_per_volume=3,
+                                      papers_per_issue=4)
+    view = app.model.find_site_view("public")
+    page = view.find_page("Volume Page")
+    volume_data = page.unit("Volume data")
+    descriptor = app.registry.page(page.id)
+    params = {f"{volume_data.id}.oid": str(oids["volumes"][0])}
+    return app, descriptor, params
+
+
+def test_e11_with_plan_cache(benchmark, serving):
+    app, descriptor, params = serving
+    service = GenericPageService(app.ctx)
+    service.compute_page(descriptor, params)  # warm the cache
+
+    result = benchmark(lambda: service.compute_page(descriptor, params))
+    assert result.bean_named("Volume data").current is not None
+    _RESULTS["cached"] = benchmark.stats["median"]
+
+
+def test_e11_without_plan_cache(benchmark, serving):
+    app, descriptor, params = serving
+    service = GenericPageService(app.ctx)
+    real_database = app.ctx.database
+    app.ctx.database = _NoPlanCacheDatabase(real_database)
+    try:
+        result = benchmark(lambda: service.compute_page(descriptor, params))
+        assert result.bean_named("Volume data").current is not None
+        _RESULTS["uncached"] = benchmark.stats["median"]
+    finally:
+        app.ctx.database = real_database
+
+
+def test_e11_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cached = _RESULTS.get("cached")
+    uncached = _RESULTS.get("uncached")
+    if not (cached and uncached):
+        pytest.skip("component measurements did not run")
+
+    report = ExperimentReport(
+        "E11", "prepared-plan reuse in the data tier", "§1 (ablation)"
+    )
+    report.add("page computation, plans cached", "baseline",
+               f"{cached * 1e6:.0f} us")
+    report.add("page computation, re-planned per query",
+               "slower (parse+plan per request)",
+               f"{uncached * 1e6:.0f} us",
+               note=f"{uncached / cached:.2f}x cached")
+    save_report(report)
+
+    assert uncached > cached

@@ -1,0 +1,85 @@
+"""E12 — §1: "the design and code generation process should scale to
+thousands of dynamic page templates and hundreds of thousands database
+queries."
+
+A generation-time scaling sweep: the Acer generator is run at 1/4x,
+1/2x, 1x and 2x the published scale and the wall time of full project
+generation is recorded.  The claim reproduced is the *shape*: generation
+cost grows roughly linearly with the artifact count (no quadratic
+blow-up), so thousands of templates stay practical.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import ExperimentReport, save_report
+from repro.codegen import generate_project
+from repro.workloads import AcerScale, build_acer_model
+
+SWEEP = [0.25, 0.5, 1.0, 2.0]
+
+
+def test_e12_generation_scales_linearly(benchmark):
+    measurements = []
+
+    def run_sweep():
+        results = []
+        for factor in SWEEP:
+            scale = AcerScale().scaled(factor)
+            model = build_acer_model(scale)
+            started = time.perf_counter()
+            project = generate_project(model, validate=False)
+            elapsed = time.perf_counter() - started
+            counts = project.counts()
+            results.append({
+                "factor": factor,
+                "pages": counts["page_templates"],
+                "units": counts["unit_descriptors"],
+                "sql": counts["sql_statements"],
+                "seconds": elapsed,
+            })
+        return results
+
+    measurements = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "E12", "code generation scaling sweep", "§1"
+    )
+    base = measurements[0]
+    for m in measurements:
+        per_unit = m["seconds"] / m["units"] * 1e3
+        report.add(
+            f"{m['factor']}x scale ({m['pages']} pages, {m['units']} units)",
+            "grows ~linearly",
+            f"{m['seconds']:.2f}s",
+            note=f"{per_unit:.2f} ms/unit, {m['sql']} SQL statements",
+        )
+    largest = measurements[-1]
+    growth = (largest["seconds"] / base["seconds"])
+    size_growth = largest["units"] / base["units"]
+    report.add("time growth vs size growth (2x vs 0.25x)",
+               "close to 1:1", f"{growth:.1f}x vs {size_growth:.1f}x")
+    save_report(report)
+
+    # shape: per-unit cost must not explode as the model grows 8x
+    base_per_unit = base["seconds"] / base["units"]
+    largest_per_unit = largest["seconds"] / largest["units"]
+    assert largest_per_unit < base_per_unit * 3
+    assert largest["pages"] == 1112
+    assert largest["units"] == 6136
+
+
+def test_e12_descriptor_lookup_stays_flat(benchmark):
+    """Serving must not degrade with deployment size: descriptor lookup
+    is O(1) whatever the application's scale."""
+    from repro.descriptors import DescriptorRegistry
+
+    model = build_acer_model()
+    project = generate_project(model, validate=False)
+    registry = DescriptorRegistry()
+    project.deploy(registry)
+    sample_unit = project.unit_descriptors[1234].unit_id
+
+    lookup = benchmark(lambda: registry.unit(sample_unit))
+    assert lookup.unit_id == sample_unit

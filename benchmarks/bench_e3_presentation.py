@@ -1,0 +1,108 @@
+"""E3 — §8: presentation managed by three stylesheets.
+
+"For all the 556 pages the look & feel has been produced by only three
+XSL style sheets (one for the B2C site views, one for the B2B site
+views, and one for the internal content management site views).  Less
+than 5% of the HTML code produced by the XSL style has been retouched
+manually to improve the rendition."
+
+The benchmark builds exactly three stylesheets (one per site-view
+family), applies them to all 556 generated skeletons, and measures rule
+coverage: the fraction of generated markup (unit tags and page grids)
+that the rules style without manual intervention.
+"""
+
+import pytest
+
+from repro.bench import ExperimentReport, save_report
+from repro.codegen import generate_project
+from repro.presentation.renderer import default_stylesheet
+from repro.workloads import build_acer_model
+
+
+@pytest.fixture(scope="module")
+def acer_project():
+    model = build_acer_model()
+    return model, generate_project(model, validate=False)
+
+
+def _family_of(site_view_name: str) -> str:
+    return site_view_name.split("-")[0]  # b2c / b2b / cm
+
+
+def test_e3_three_stylesheets_cover_all_pages(benchmark, acer_project):
+    model, project = acer_project
+    stylesheets = {
+        "b2c": default_stylesheet("Acer Store"),
+        "b2b": default_stylesheet("Acer Channel"),
+        "cm": default_stylesheet("Acer Content Desk"),
+    }
+    page_family = {}
+    for view in model.site_views:
+        for page in view.all_pages():
+            page_family[page.id] = _family_of(view.name)
+
+    def style_everything():
+        styled_pages = 0
+        total_tags = 0
+        styled_tags = 0
+        unstyled_grids = 0
+        for page_id, skeleton in project.skeletons.items():
+            stylesheet = stylesheets[page_family[page_id]]
+            coverage = stylesheet.coverage(skeleton)
+            stylesheet.apply(skeleton)
+            styled_pages += 1
+            total_tags += coverage["unit_tags"]
+            styled_tags += coverage["styled_unit_tags"]
+            if not coverage["page_styled"]:
+                unstyled_grids += 1
+        return styled_pages, total_tags, styled_tags, unstyled_grids
+
+    styled_pages, total_tags, styled_tags, unstyled_grids = benchmark.pedantic(
+        style_everything, rounds=1, iterations=1
+    )
+    retouch_fraction = 1.0 - (styled_tags / total_tags)
+
+    report = ExperimentReport(
+        "E3", "three stylesheets style 556 pages", "§8"
+    )
+    report.add("XSL stylesheets", 3, len(stylesheets))
+    report.add("pages styled", 556, styled_pages)
+    report.add("unit tags styled by rules",
+               "> 95%", f"{styled_tags / total_tags:.1%}")
+    report.add("markup needing manual retouch", "< 5%",
+               f"{retouch_fraction:.1%}")
+    report.add("page grids left unstyled", 0, unstyled_grids)
+    save_report(report)
+
+    assert styled_pages == 556
+    assert retouch_fraction < 0.05
+    assert unstyled_grids == 0
+
+
+def test_e3_styled_templates_parse_and_keep_tags(acer_project, benchmark):
+    """The transformation must preserve every dynamic tag (the custom
+    tags are what render content at request time)."""
+    from repro.xmlkit import parse_xml
+
+    model, project = acer_project
+    stylesheet = default_stylesheet("Acer Store")
+    sample = list(project.skeletons.items())[:40]
+
+    def check():
+        kept = 0
+        for page_id, skeleton in sample:
+            before = sum(
+                1 for e in parse_xml(skeleton).iter()
+                if e.tag.startswith("webml:")
+            )
+            after_doc = parse_xml(stylesheet.apply(skeleton))
+            after = sum(
+                1 for e in after_doc.iter() if e.tag.startswith("webml:")
+            )
+            assert before == after
+            kept += after
+        return kept
+
+    kept = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert kept > 0

@@ -1,0 +1,102 @@
+"""E4 — §5 / Figure 7: compile-time versus runtime rule application.
+
+"Applying the rules at compile time yields a set of page templates
+embodying the final look and feel ... this approach is more efficient,
+because no template transformation is required at runtime.
+Presentation rules can be applied also at runtime ... more expensive in
+terms of execution time ... but more flexible and may be very effective
+for multi-device applications."
+
+The benchmark serves the same page through both modes (and through the
+device-adaptive runtime variant) and reports the per-request latency.
+The expected *shape*: compile-time strictly faster; runtime pays the
+transformation on every request; device adaptation costs nothing extra
+beyond runtime transformation.
+"""
+
+import pytest
+
+from repro.app import Browser, WebApplication
+from repro.bench import ExperimentReport, save_report
+from repro.codegen import generate_project
+from repro.presentation import DeviceRegistry, PresentationRenderer
+from repro.presentation.devices import compact_device_stylesheet
+from repro.presentation.renderer import default_stylesheet
+from repro.workloads.acm import build_acm_model, seed_acm_data
+
+_RESULTS: dict[str, float] = {}
+
+
+def _serving_app(mode: str, device_adaptive: bool = False):
+    model = build_acm_model()
+    project = generate_project(model)
+    if device_adaptive:
+        registry = DeviceRegistry()
+        registry.register_stylesheet(default_stylesheet("ACM"))
+        registry.register_stylesheet(compact_device_stylesheet())
+        renderer = PresentationRenderer(
+            project.skeletons, mode="runtime", device_registry=registry
+        )
+    else:
+        renderer = PresentationRenderer(
+            project.skeletons, default_stylesheet("ACM"), mode=mode
+        )
+    app = WebApplication(model, view_renderer=renderer)
+    seed_acm_data(app, volumes=4, issues_per_volume=3, papers_per_issue=4)
+    browser = Browser(app)
+    view = app.model.find_site_view("public")
+    volume_data = view.find_page("Volume Page").unit("Volume data")
+    url = app.page_url("public", "Volume Page", {f"{volume_data.id}.oid": 1})
+    browser.get(url)  # warm
+    return browser, url, renderer
+
+
+def test_e4_compile_time_serving(benchmark):
+    browser, url, renderer = _serving_app("compile-time")
+    result = benchmark(lambda: browser.get(url))
+    assert result.status == 200
+    assert renderer.runtime_transformations == 0
+    _RESULTS["compile-time"] = benchmark.stats["median"]
+
+
+def test_e4_runtime_serving(benchmark):
+    browser, url, renderer = _serving_app("runtime")
+    result = benchmark(lambda: browser.get(url))
+    assert result.status == 200
+    assert renderer.runtime_transformations > 0
+    _RESULTS["runtime"] = benchmark.stats["median"]
+
+
+def test_e4_runtime_device_adaptive_serving(benchmark):
+    browser, url, renderer = _serving_app("runtime", device_adaptive=True)
+    result = benchmark(lambda: browser.get(url))
+    assert result.status == 200
+    _RESULTS["adaptive"] = benchmark.stats["median"]
+
+
+def test_e4_report(benchmark):
+    """Summarize after the three measurements (runs last in the file)."""
+    # keep the benchmark fixture engaged so --benchmark-only collects us
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    compile_time = _RESULTS.get("compile-time")
+    runtime = _RESULTS.get("runtime")
+    adaptive = _RESULTS.get("adaptive")
+    if not (compile_time and runtime and adaptive):
+        pytest.skip("component measurements did not run")
+
+    report = ExperimentReport(
+        "E4", "compile-time vs runtime rule application", "§5 / Figure 7"
+    )
+    report.add("compile-time request latency", "baseline (faster)",
+               f"{compile_time * 1e3:.2f} ms")
+    report.add("runtime request latency", "slower (XSLT per request)",
+               f"{runtime * 1e3:.2f} ms",
+               note=f"{runtime / compile_time:.2f}x compile-time")
+    report.add("device-adaptive runtime latency", "~= runtime",
+               f"{adaptive * 1e3:.2f} ms",
+               note=f"{adaptive / compile_time:.2f}x compile-time")
+    save_report(report)
+
+    assert runtime > compile_time  # the paper's direction
+    # adaptation costs roughly the runtime transformation, not more
+    assert adaptive < runtime * 2

@@ -1,0 +1,157 @@
+"""E5 — §6: the two-level cache architecture.
+
+"The MVC architecture partly reduces the benefits of template-level
+caching, because the HTTP request does not invoke the page template
+directly, but an action class, which performs all the costly data
+queries before the page template is parsed and executed ... WebRatio
+solves this issue by adopting a two-level cache architecture."
+
+The benchmark replays identical zipfian traffic against three
+configurations of the same application:
+
+- no cache at all,
+- fragment (template-level) cache only — markup generation is spared,
+  data-extraction queries are NOT,
+- two-level (fragment + unit-bean) cache — repeated queries are spared.
+
+Reported: queries executed and mean latency per configuration.  Shape:
+fragment-only leaves query counts untouched; the bean cache collapses
+them; latency follows.
+"""
+
+import pytest
+
+from repro.bench import ExperimentReport, save_report
+from repro.caching import FragmentCache, UnitBeanCache
+from repro.codegen import generate_project
+from repro.presentation import PresentationRenderer
+from repro.presentation.renderer import default_stylesheet
+from repro.app import WebApplication
+from repro.workloads.acm import build_acm_model, seed_acm_data
+from repro.workloads.traffic import TrafficGenerator, page_url_pool
+
+REQUESTS = 150
+
+_RESULTS: dict[str, dict] = {}
+
+
+def _build(configuration: str):
+    model = build_acm_model()
+    # every content unit participates in the §6 bean cache
+    for unit in model.all_units():
+        if unit.kind != "entry":
+            unit.cacheable = True
+    project = generate_project(model)
+    stylesheet = default_stylesheet("ACM")
+    fragment_cache = None
+    bean_cache = None
+    if configuration in ("fragment", "two-level"):
+        fragment_cache = FragmentCache()
+        for rule in stylesheet.unit_rules:
+            rule.set_attrs["fragment"] = "cache"
+    if configuration == "two-level":
+        bean_cache = UnitBeanCache()
+    renderer = PresentationRenderer(
+        project.skeletons, stylesheet, fragment_cache=fragment_cache
+    )
+    app = WebApplication(model, view_renderer=renderer,
+                         bean_cache=bean_cache)
+    seed_acm_data(app, volumes=4, issues_per_volume=3, papers_per_issue=4)
+    app.ctx.stats.reset()
+    return app, fragment_cache, bean_cache
+
+
+def _url_pool(app):
+    view = app.model.find_site_view("public")
+    volume_data = view.find_page("Volume Page").unit("Volume data")
+    paper_data = view.find_page("Paper details").unit("Paper data")
+    pool = [
+        app.page_url("public", "Volumes"),
+        app.page_url("public", "Volume Page",
+                     {f"{volume_data.id}.oid": 1}),
+        app.page_url("public", "Volume Page",
+                     {f"{volume_data.id}.oid": 2}),
+        app.page_url("public", "Paper details",
+                     {f"{paper_data.id}.oid": 1}),
+        app.page_url("public", "Browse papers"),
+    ]
+    return pool
+
+
+def _run_configuration(configuration: str, benchmark):
+    app, fragment_cache, bean_cache = _build(configuration)
+    traffic = TrafficGenerator(app, _url_pool(app), seed=2003)
+    urls = [traffic.pick_url() for _ in range(REQUESTS)]
+
+    from repro.app import Browser
+
+    def replay():
+        app.ctx.stats.reset()
+        if fragment_cache:
+            fragment_cache.flush()
+            fragment_cache.stats.reset()
+        if bean_cache:
+            bean_cache.flush()
+            bean_cache.stats.reset()
+        browser = Browser(app)
+        for url in urls:
+            response = browser.get(url)
+            assert response.status == 200
+        return app.ctx.stats.queries_executed
+
+    queries = benchmark.pedantic(replay, rounds=3, iterations=1)
+    _RESULTS[configuration] = {
+        "queries": queries,
+        "latency": benchmark.stats["mean"] / REQUESTS,
+        "fragment_hits": fragment_cache.stats.hits if fragment_cache else 0,
+        "bean_hits": bean_cache.stats.hits if bean_cache else 0,
+    }
+
+
+def test_e5_no_cache(benchmark):
+    _run_configuration("none", benchmark)
+    assert _RESULTS["none"]["queries"] > 0
+
+
+def test_e5_fragment_cache_only(benchmark):
+    _run_configuration("fragment", benchmark)
+    outcome = _RESULTS["fragment"]
+    assert outcome["fragment_hits"] > 0  # markup generation was spared...
+    assert outcome["queries"] == _RESULTS["none"]["queries"]  # ...queries not
+
+
+def test_e5_two_level_cache(benchmark):
+    _run_configuration("two-level", benchmark)
+    outcome = _RESULTS["two-level"]
+    assert outcome["bean_hits"] > 0
+    assert outcome["queries"] < _RESULTS["none"]["queries"] / 3
+
+
+def test_e5_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if set(_RESULTS) != {"none", "fragment", "two-level"}:
+        pytest.skip("component measurements did not run")
+    none, fragment, two_level = (
+        _RESULTS["none"], _RESULTS["fragment"], _RESULTS["two-level"]
+    )
+    report = ExperimentReport(
+        "E5", "two-level cache: what each level spares", "§6"
+    )
+    report.add("queries, no cache", "all executed", none["queries"],
+               note=f"{REQUESTS} requests")
+    report.add("queries, fragment cache only", "unchanged (ESI limit)",
+               fragment["queries"],
+               note=f"{fragment['fragment_hits']} fragment hits")
+    report.add("queries, two-level cache", "collapsed",
+               two_level["queries"],
+               note=f"{two_level['bean_hits']} bean hits")
+    report.add("latency/request, no cache", "baseline",
+               f"{none['latency'] * 1e3:.2f} ms")
+    report.add("latency/request, fragment only", "slightly lower",
+               f"{fragment['latency'] * 1e3:.2f} ms")
+    report.add("latency/request, two-level", "lowest",
+               f"{two_level['latency'] * 1e3:.2f} ms")
+    save_report(report)
+
+    assert two_level["queries"] < none["queries"]
+    assert two_level["latency"] < none["latency"]

@@ -1,0 +1,99 @@
+"""E8 — Figures 1-2: the ACM Digital Library Volume Page, end to end.
+
+Figure 1 models "a real page taken from the ACM Digital Library Web
+site, which displays the details of an ACM TODS volume": a data unit on
+Volume, a transport link into a hierarchical index over
+Issue[VolumeToIssue] NEST Paper[IssueToPaper], an entry unit for keyword
+search, and outgoing links to the paper-details and search-results
+pages.
+
+The benchmark renders the page through the full pipeline and verifies
+every structural element of Figure 2's screenshot analogue, then times
+the request.
+"""
+
+import pytest
+
+from repro.app import Browser, WebApplication
+from repro.bench import ExperimentReport, save_report
+from repro.codegen import generate_project
+from repro.presentation import PresentationRenderer
+from repro.presentation.renderer import default_stylesheet
+from repro.workloads.acm import build_acm_model, seed_acm_data
+
+
+@pytest.fixture(scope="module")
+def acm_figure1():
+    model = build_acm_model()
+    project = generate_project(model)
+    renderer = PresentationRenderer(project.skeletons,
+                                    default_stylesheet("ACM Digital Library"))
+    app = WebApplication(model, view_renderer=renderer)
+    oids = seed_acm_data(app, volumes=3, issues_per_volume=4,
+                         papers_per_issue=3)
+    return app, oids
+
+
+def test_e8_volume_page_structure(benchmark, acm_figure1):
+    app, oids = acm_figure1
+    view = app.model.find_site_view("public")
+    volume_data = view.find_page("Volume Page").unit("Volume data")
+    url = app.page_url("public", "Volume Page",
+                       {f"{volume_data.id}.oid": oids["volumes"][0]})
+    browser = Browser(app)
+
+    response = benchmark(lambda: browser.get(url))
+    body = response.body
+
+    paper_page = view.find_page("Paper details")
+    checks = {
+        "volume data unit rendered": "unit-data" in body,
+        "volume attributes shown": "TODS Volume 27" in body,
+        "hierarchical index rendered": "unit-hierarchical" in body,
+        "issues at level 0": 'class="hierarchy-level level-0"' in body,
+        "papers nested at level 1": 'class="hierarchy-level level-1"' in body,
+        "papers link to details page": any(
+            f"/{paper_page.id}?" in link for link in browser.links()
+        ),
+        "keyword entry form rendered": "entry-form" in body,
+        "search submits the keyword": "keyword" in body,
+    }
+    # count the real rows: 4 issues, each with 3 papers
+    issue_rows = body.count('class="hierarchy-node"')
+    paper_links = body.count("hierarchy-level level-1")
+
+    report = ExperimentReport(
+        "E8", "Figure 1's Volume Page reproduced end to end", "§1, Figs 1-2"
+    )
+    for label, ok in checks.items():
+        if isinstance(ok, bool):
+            report.add(label, "present", "yes" if ok else "MISSING")
+    report.add("issues listed", 4, issue_rows)
+    report.add("nested paper lists", 4, paper_links)
+    report.add("request latency", "n/a",
+               f"{benchmark.stats['mean'] * 1e3:.2f} ms")
+    save_report(report)
+
+    assert all(v for v in checks.values() if isinstance(v, bool))
+    assert issue_rows == 4
+    assert paper_links == 4
+
+
+def test_e8_figure1_links_navigate(benchmark, acm_figure1):
+    """Following the modelled links reaches the modelled pages."""
+    app, oids = acm_figure1
+    view = app.model.find_site_view("public")
+    volume_data = view.find_page("Volume Page").unit("Volume data")
+    url = app.page_url("public", "Volume Page",
+                       {f"{volume_data.id}.oid": oids["volumes"][0]})
+
+    def walk():
+        browser = Browser(app)
+        browser.get(url)
+        paper_page = view.find_page("Paper details")
+        link = next(l for l in browser.links() if f"/{paper_page.id}?" in l)
+        browser.get(link)
+        return browser.body
+
+    body = benchmark(walk)
+    assert "Paper" in body and "unit-data" in body

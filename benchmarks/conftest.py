@@ -1,0 +1,16 @@
+"""Shared benchmark fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.acm import build_acm_application
+
+
+@pytest.fixture(scope="module")
+def acm_serving():
+    """A seeded ACM application with a mid-size dataset, reused across
+    the serving benchmarks of one module."""
+    app, oids = build_acm_application(volumes=4, issues_per_volume=3,
+                                      papers_per_issue=4)
+    return app, oids

@@ -1,0 +1,73 @@
+"""repro — a reproduction of "Architectural Issues and Solutions in the
+Development of Data-Intensive Web Applications" (Ceri, Fraternali et
+al., CIDR 2003).
+
+The library implements the WebRatio architecture the paper describes:
+specify the data with an ER model and the hypertext with WebML, generate
+the full application (relational schema, XML descriptors for generic
+services, controller configuration, template skeletons), style it with
+XSLT-like page/unit rules and modularized CSS, and serve it through an
+MVC2 runtime with the paper's two-level cache.
+
+Quickstart::
+
+    from repro import ERModel, WebMLModel, WebApplication, Browser
+
+    data = ERModel(name="demo")
+    data.entity("Note", [("text", "VARCHAR(200)", True)])
+
+    hypertext = WebMLModel(data, name="demo")
+    page = hypertext.site_view("public").page("Notes", home=True)
+    page.index_unit("All notes", "Note")
+
+    app = WebApplication(hypertext)
+    app.seed_entity("Note", [{"text": "hello WebML"}])
+    print(Browser(app).get("/").status)
+
+See ``examples/`` for full applications, DESIGN.md for the system map,
+and EXPERIMENTS.md for the paper-vs-measured results.
+"""
+
+from repro.app import Browser, WebApplication
+from repro.caching import FragmentCache, UnitBeanCache
+from repro.codegen import (
+    generate_conventional,
+    generate_project,
+)
+from repro.er import Attribute, Cardinality, Entity, ERModel, Relationship
+from repro.presentation import (
+    DeviceRegistry,
+    PresentationRenderer,
+    Stylesheet,
+    UnitRule,
+)
+from repro.presentation.renderer import default_stylesheet
+from repro.rdb import Database
+from repro.webml import (
+    AttributeCondition,
+    HierarchyLevel,
+    KeyCondition,
+    LinkKind,
+    RelationshipCondition,
+    Selector,
+    WebMLModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # data model
+    "ERModel", "Entity", "Attribute", "Relationship", "Cardinality",
+    # hypertext model
+    "WebMLModel", "Selector", "AttributeCondition", "KeyCondition",
+    "RelationshipCondition", "HierarchyLevel", "LinkKind",
+    # generation + runtime
+    "generate_project", "generate_conventional", "WebApplication", "Browser",
+    "Database",
+    # presentation
+    "PresentationRenderer", "Stylesheet", "UnitRule", "DeviceRegistry",
+    "default_stylesheet",
+    # caching
+    "UnitBeanCache", "FragmentCache",
+]

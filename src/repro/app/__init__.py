@@ -1,0 +1,13 @@
+"""Application assembly and a scripted client.
+
+:class:`~repro.app.application.WebApplication` turns an ER + WebML model
+into a served application: it generates the project, installs the
+schema, deploys the descriptors, and wires the MVC runtime.
+:class:`~repro.app.browser.Browser` is the simulated client used by
+examples, tests, and the traffic generator.
+"""
+
+from repro.app.application import WebApplication
+from repro.app.browser import Browser
+
+__all__ = ["WebApplication", "Browser"]

@@ -1,0 +1,25 @@
+"""The application-server tier (paper §4, Figure 6).
+
+"A better software organization is obtained by splitting the business
+logic into the servlet engine and an application server ... the business
+components are implemented as Enterprise JavaBeans (EJB) ... and can be
+accessed by Web applications and other enterprise applications."
+
+- :mod:`repro.appserver.container` — the EJB-like component container:
+  per-component instance pools that grow under load and passivate when
+  idle, shared by Web and non-Web clients;
+- :mod:`repro.appserver.servlet_tier` — the baseline §4 argues against:
+  statically cloned servlet containers whose service instances stay
+  resident regardless of traffic.
+"""
+
+from repro.appserver.container import ComponentContainer, ComponentDescriptor
+from repro.appserver.integration import deploy_business_tier
+from repro.appserver.servlet_tier import ServletTierDeployment
+
+__all__ = [
+    "ComponentContainer",
+    "ComponentDescriptor",
+    "ServletTierDeployment",
+    "deploy_business_tier",
+]

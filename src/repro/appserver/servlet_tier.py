@@ -1,0 +1,80 @@
+"""The static-clone servlet tier — the baseline §4 argues against.
+
+"Cloning the machine where the servlet container resides duplicates also
+all the services of the application.  The number of clones must be
+decided statically, and cannot be adapted at runtime.  If the traffic of
+a certain application reduces, the objects implementing its services
+remain in main memory and occupy resources."
+
+A :class:`ServletTierDeployment` therefore holds ``clones × services``
+resident instances from deployment until shutdown, whatever the load —
+the property experiment E7 plots against the container's adaptive pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ContainerError
+
+
+@dataclass
+class _CloneService:
+    name: str
+    factory: object
+    instances: list = field(default_factory=list)
+
+
+class ServletTierDeployment:
+    """N statically-sized clones of a servlet container."""
+
+    def __init__(self, clone_count: int, instances_per_service: int = 1):
+        if clone_count <= 0:
+            raise ContainerError("need at least one clone")
+        if instances_per_service <= 0:
+            raise ContainerError("need at least one instance per service")
+        self.clone_count = clone_count
+        self.instances_per_service = instances_per_service
+        self._services: dict[str, object] = {}
+        self._clones: list[dict[str, _CloneService]] = []
+        self._round_robin = 0
+        self.invocations = 0
+
+    def deploy(self, name: str, factory) -> None:
+        """Deploying a service replicates it into EVERY clone, eagerly."""
+        if name in self._services:
+            raise ContainerError(f"service {name!r} already deployed")
+        self._services[name] = factory
+        if not self._clones:
+            self._clones = [{} for _ in range(self.clone_count)]
+        for clone in self._clones:
+            service = _CloneService(name, factory)
+            for _ in range(self.instances_per_service):
+                service.instances.append(factory())
+            clone[name] = service
+
+    def invoke(self, name: str, method: str, *args, **kwargs):
+        """Round-robin the clones; instances are never released."""
+        if name not in self._services:
+            raise ContainerError(f"no service deployed as {name!r}")
+        clone = self._clones[self._round_robin % self.clone_count]
+        self._round_robin += 1
+        instance = clone[name].instances[0]
+        self.invocations += 1
+        return getattr(instance, method)(*args, **kwargs)
+
+    def sweep(self) -> int:
+        """Static clones cannot passivate anything — always 0."""
+        return 0
+
+    def resident_instances(self, name: str | None = None) -> int:
+        if name is not None:
+            if name not in self._services:
+                raise ContainerError(f"no service deployed as {name!r}")
+            return self.clone_count * self.instances_per_service
+        return (
+            len(self._services) * self.clone_count * self.instances_per_service
+        )
+
+    def deployed(self) -> list[str]:
+        return sorted(self._services)

@@ -1,0 +1,5 @@
+"""Experiment harness shared by the ``benchmarks/`` suite."""
+
+from repro.bench.harness import ExperimentReport, report_path, save_report
+
+__all__ = ["ExperimentReport", "save_report", "report_path"]

@@ -1,0 +1,78 @@
+"""Experiment reporting.
+
+Every benchmark builds an :class:`ExperimentReport` with one row per
+figure/number the paper states, alongside the value measured by the
+reproduction.  Reports are printed (visible with ``pytest -s``) and
+written to ``benchmarks/reports/<experiment>.txt`` so EXPERIMENTS.md
+can quote real runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass
+class _Row:
+    metric: str
+    paper: str
+    measured: str
+    note: str = ""
+
+
+@dataclass
+class ExperimentReport:
+    """A paper-vs-measured comparison table."""
+
+    experiment_id: str
+    title: str
+    paper_source: str  # e.g. "§8" or "Figure 7"
+    rows: list[_Row] = field(default_factory=list)
+
+    def add(self, metric: str, paper, measured, note: str = "") -> None:
+        self.rows.append(_Row(metric, _fmt(paper), _fmt(measured), note))
+
+    def render(self) -> str:
+        headers = ("metric", "paper", "measured", "note")
+        table = [headers] + [
+            (r.metric, r.paper, r.measured, r.note) for r in self.rows
+        ]
+        widths = [max(len(row[i]) for row in table) for i in range(4)]
+        lines = [
+            f"{self.experiment_id}: {self.title}   [{self.paper_source}]",
+            "-" * (sum(widths) + 9),
+        ]
+        for position, row in enumerate(table):
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)).rstrip())
+            if position == 0:
+                lines.append("-" * (sum(widths) + 9))
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def report_path(experiment_id: str) -> str:
+    base = os.environ.get("REPRO_REPORT_DIR",
+                          os.path.join("benchmarks", "reports"))
+    os.makedirs(base, exist_ok=True)
+    return os.path.join(base, f"{experiment_id}.txt")
+
+
+def save_report(report: ExperimentReport, echo: bool = True) -> str:
+    """Write the report file; returns the rendered text."""
+    text = report.render()
+    with open(report_path(report.experiment_id), "w") as handle:
+        handle.write(text)
+    if echo:
+        print("\n" + text)
+    return text

@@ -1,0 +1,34 @@
+"""The two-level cache architecture (paper §6).
+
+Level 1 — the **fragment cache**: an ESI-style template-fragment store.
+It spares the markup generation of cached fragments but, as §6 points
+out, "caching fragments of the page template may spare only the
+computation of markup from query results, not the execution of the data
+extraction queries" — the action classes run before the template.
+
+Level 2 — the **unit-bean cache**: "WebRatio caches the data beans
+produced by the action invocations, which typically include the result
+of data access queries, and make them reusable by multiple requests."
+Because the conceptual model exposes what each unit depends on,
+"the implementation of operations automatically invalidates the
+affected cached objects".
+
+- :mod:`repro.caching.policy` — TTL / model-driven policies,
+- :mod:`repro.caching.fragment_cache` — level 1,
+- :mod:`repro.caching.bean_cache` — level 2 with the model-driven
+  dependency index,
+- :mod:`repro.caching.stats` — hit/miss/invalidation counters.
+"""
+
+from repro.caching.bean_cache import UnitBeanCache
+from repro.caching.fragment_cache import FragmentCache
+from repro.caching.policy import CachePolicy, parse_policy
+from repro.caching.stats import CacheStats
+
+__all__ = [
+    "UnitBeanCache",
+    "FragmentCache",
+    "CachePolicy",
+    "parse_policy",
+    "CacheStats",
+]

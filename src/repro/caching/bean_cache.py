@@ -1,0 +1,139 @@
+"""Level-2 cache: unit beans with model-driven invalidation.
+
+The decisive §6 advantage of caching *in the business tier*: cached
+beans spare the data-extraction queries themselves, and "since a
+conceptual model of the application is available, which clearly exposes
+the Entity or Relationship on which the content of a unit depends, and
+the operations that may act on such content, the implementation of
+operations automatically invalidates the affected cached objects,
+sparing to the developer the need of managing a business-tier cache in
+his application code."
+
+Each entry carries the entity and role dependency sets recorded in the
+unit descriptor; :meth:`invalidate_writes` drops exactly the dependent
+entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.caching.policy import parse_policy
+from repro.caching.stats import CacheStats
+from repro.errors import CacheError
+from repro.util import SystemClock
+
+
+@dataclass
+class _Entry:
+    bean: object
+    entities: frozenset
+    roles: frozenset
+    expires_at: float | None
+
+
+class UnitBeanCache:
+    """The business-tier cache the generic unit service consults."""
+
+    def __init__(self, max_entries: int = 4096, clock=None):
+        if max_entries <= 0:
+            raise CacheError("bean cache needs a positive capacity")
+        self.max_entries = max_entries
+        self.clock = clock or SystemClock()
+        self.stats = CacheStats()
+        self._entries: OrderedDict[object, _Entry] = OrderedDict()
+        # dependency indexes: name → set of keys
+        self._by_entity: dict[str, set] = {}
+        self._by_role: dict[str, set] = {}
+
+    # -- the RuntimeContext cache protocol ----------------------------------
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.expires_at is not None and self.clock.now() >= entry.expires_at:
+            self._remove(key)
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        bean = entry.bean
+        bean.from_cache = True
+        return bean
+
+    def put(self, key, bean, entities=(), roles=(),
+            policy: str = "model-driven") -> None:
+        parsed = parse_policy(policy)
+        if key in self._entries:
+            self._remove(key)
+        entry = _Entry(
+            bean=bean,
+            entities=frozenset(entities),
+            roles=frozenset(roles),
+            expires_at=parsed.expires_at(self.clock.now()),
+        )
+        self._entries[key] = entry
+        for entity in entry.entities:
+            self._by_entity.setdefault(entity, set()).add(key)
+        for role in entry.roles:
+            self._by_role.setdefault(role, set()).add(key)
+        self.stats.puts += 1
+        while len(self._entries) > self.max_entries:
+            oldest = next(iter(self._entries))
+            self._remove(oldest)
+            self.stats.evictions += 1
+
+    def invalidate_writes(self, entities=(), roles=()) -> int:
+        """Drop every entry depending on any written entity/role."""
+        keys: set = set()
+        for entity in entities:
+            keys |= self._by_entity.get(entity, set())
+        for role in roles:
+            keys |= self._by_role.get(role, set())
+        for key in keys:
+            self._remove(key)
+        self.stats.invalidations += len(keys)
+        return len(keys)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _remove(self, key) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        for entity in entry.entities:
+            holders = self._by_entity.get(entity)
+            if holders:
+                holders.discard(key)
+                if not holders:
+                    del self._by_entity[entity]
+        for role in entry.roles:
+            holders = self._by_role.get(role)
+            if holders:
+                holders.discard(key)
+                if not holders:
+                    del self._by_role[role]
+
+    def flush(self) -> int:
+        count = len(self._entries)
+        self._entries.clear()
+        self._by_entity.clear()
+        self._by_role.clear()
+        self.stats.invalidations += count
+        return count
+
+    def dependents_of(self, entity: str | None = None,
+                      role: str | None = None) -> int:
+        """How many live entries depend on the given entity/role."""
+        if entity is not None:
+            return len(self._by_entity.get(entity, set()))
+        if role is not None:
+            return len(self._by_role.get(role, set()))
+        return 0
+
+    def __len__(self) -> int:
+        return len(self._entries)

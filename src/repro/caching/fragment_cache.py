@@ -1,0 +1,67 @@
+"""Level-1 cache: template fragments (ESI-style).
+
+"Last-generation cache technologies, like the Edge Side Include (ESI)
+initiative, apply more sophisticated caching strategies, based on the
+capability of marking fragments of the page template, which can be
+cached individually and with different policies" (§6).
+
+Keys are opaque (the template engine uses (unit, bean-digest)); values
+are rendered HTML strings.  LRU bounded, optional TTL.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.caching.stats import CacheStats
+from repro.errors import CacheError
+from repro.util import SystemClock
+
+
+class FragmentCache:
+    def __init__(self, max_entries: int = 1024,
+                 ttl_seconds: float | None = None, clock=None):
+        if max_entries <= 0:
+            raise CacheError("fragment cache needs a positive capacity")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self.clock = clock or SystemClock()
+        self.stats = CacheStats()
+        self._entries: OrderedDict[object, tuple[str, float | None]] = OrderedDict()
+
+    def get(self, key) -> str | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        html, expires_at = entry
+        if expires_at is not None and self.clock.now() >= expires_at:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return html
+
+    def put(self, key, html: str) -> None:
+        expires_at = (
+            self.clock.now() + self.ttl_seconds
+            if self.ttl_seconds is not None else None
+        )
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (html, expires_at)
+        self.stats.puts += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def flush(self) -> int:
+        count = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += count
+        return count
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,50 @@
+"""Cache policies.
+
+A unit tagged as cached specifies "the associate cache invalidation
+policy" (§6).  Two policies are supported:
+
+- ``model-driven`` — entries live until an operation writes one of the
+  entities/relationships the unit depends on (the paper's automatic
+  invalidation);
+- ``ttl:<seconds>`` — entries additionally expire after a fixed
+  lifetime (for content whose writers bypass the operations layer,
+  e.g. external feeds).
+
+Model-driven invalidation always applies; TTL merely adds an upper
+bound on staleness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CacheError
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    name: str
+    ttl_seconds: float | None = None
+
+    def expires_at(self, now: float) -> float | None:
+        if self.ttl_seconds is None:
+            return None
+        return now + self.ttl_seconds
+
+
+MODEL_DRIVEN = CachePolicy("model-driven")
+
+
+def parse_policy(text: str) -> CachePolicy:
+    """Parse a descriptor's cachePolicy attribute."""
+    if text == "model-driven":
+        return MODEL_DRIVEN
+    if text.startswith("ttl:"):
+        try:
+            seconds = float(text[4:])
+        except ValueError:
+            raise CacheError(f"bad TTL in cache policy {text!r}") from None
+        if seconds <= 0:
+            raise CacheError(f"TTL must be positive in {text!r}")
+        return CachePolicy("ttl", ttl_seconds=seconds)
+    raise CacheError(f"unknown cache policy {text!r}")

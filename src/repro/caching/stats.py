@@ -1,0 +1,31 @@
+"""Cache statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.invalidations = 0
+        self.evictions = 0
+        self.expirations = 0

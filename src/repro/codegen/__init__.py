@@ -1,0 +1,44 @@
+"""Code generators.
+
+WebRatio's "customisable code generators" (§1) transform the ER model
+into relational DDL and the WebML model into the runtime artifacts:
+
+- :mod:`repro.codegen.sqlgen` — per-unit data-extraction queries and
+  per-operation DML,
+- :mod:`repro.codegen.descriptorgen` — unit/page/operation descriptors
+  (the generic-service architecture of §4),
+- :mod:`repro.codegen.configgen` — the controller configuration from the
+  hypertext topology (§7: regenerated whenever pages are re-linked),
+- :mod:`repro.codegen.skeletongen` — page template skeletons for the
+  presentation pipeline (§5),
+- :mod:`repro.codegen.conventional` — the baseline generator emitting
+  one dedicated service class per page and per unit (what §4 argues
+  against; used by experiments E2/E9),
+- :mod:`repro.codegen.generator` — the facade generating a whole
+  deployable project.
+"""
+
+from repro.codegen.configgen import generate_controller_config
+from repro.codegen.conventional import ConventionalProject, generate_conventional
+from repro.codegen.descriptorgen import (
+    generate_operation_descriptor,
+    generate_page_descriptor,
+    generate_unit_descriptor,
+)
+from repro.codegen.generator import GeneratedProject, generate_project
+from repro.codegen.skeletongen import generate_page_skeleton
+from repro.codegen.sqlgen import operation_statements, unit_queries
+
+__all__ = [
+    "unit_queries",
+    "operation_statements",
+    "generate_unit_descriptor",
+    "generate_page_descriptor",
+    "generate_operation_descriptor",
+    "generate_controller_config",
+    "generate_page_skeleton",
+    "generate_project",
+    "GeneratedProject",
+    "generate_conventional",
+    "ConventionalProject",
+]

@@ -1,0 +1,93 @@
+"""Controller configuration generation.
+
+§7: "in the MVC architecture the configuration file of the Controller,
+which centralizes the control logic of the application, quickly becomes
+unmanageable when the application size increases; in WebRatio, it is
+automatically generated from the topology of the hypertext ... The
+developer re-links the pages in the WebML diagram and the code generator
+re-builds the new configuration file."
+
+The generated document is a struts-config-style XML file mapping request
+paths to page/operation actions, with the forwards (OK/KO, navigation
+targets) resolved from the link topology.  The runtime Controller is
+configured exclusively from this artifact.
+"""
+
+from __future__ import annotations
+
+from repro.webml.links import LinkKind
+from repro.webml.model import WebMLModel
+from repro.xmlkit import Element, pretty_print
+
+
+def page_path(site_view_id: str, page_id: str) -> str:
+    return f"/{site_view_id}/{page_id}"
+
+
+def operation_path(operation_id: str) -> str:
+    return f"/do/{operation_id}"
+
+
+def _hosts_login_form(model: WebMLModel, page) -> bool:
+    """A page whose units feed a login operation must stay public."""
+    from repro.webml.operations import LoginUnit
+
+    for unit in page.units:
+        for link in model.links_from(unit.id):
+            if isinstance(model.element(link.target), LoginUnit):
+                return True
+    return False
+
+
+def generate_controller_config(model: WebMLModel) -> str:
+    """Render the action-mapping configuration for the whole model."""
+    root = Element("controllerConfig", {"application": model.name})
+    mappings = root.add("actionMappings")
+    for view in model.site_views:
+        for page in view.all_pages():
+            mapping = mappings.add(
+                "action",
+                {
+                    "path": page_path(view.id, page.id),
+                    "type": "PageAction",
+                    "page": page.id,
+                    "siteview": view.id,
+                },
+            )
+            mapping.set("view", f"templates/{page.id}.jsp")
+            if _hosts_login_form(model, page):
+                # Login pages stay reachable in protected site views.
+                mapping.set("public", "true")
+        for operation in view.operations:
+            mapping = mappings.add(
+                "action",
+                {
+                    "path": operation_path(operation.id),
+                    "type": "OperationAction",
+                    "operation": operation.id,
+                    "siteview": view.id,
+                },
+            )
+            for link in model.links_from(operation.id):
+                if link.kind not in (LinkKind.OK, LinkKind.KO):
+                    continue
+                forward = mapping.add(
+                    "forward", {"name": link.kind.value, "target": link.target}
+                )
+                target = model.element(link.target)
+                from repro.webml.units import ContentUnit
+
+                if isinstance(target, ContentUnit):
+                    forward.set("page", model.page_of_unit(target).id)
+    homes = root.add("homePages")
+    for view in model.site_views:
+        if view.home_page_id:
+            homes.add(
+                "home",
+                {
+                    "siteview": view.id,
+                    "page": view.home_page_id,
+                    "requiresLogin": "true" if view.requires_login else "false",
+                },
+            )
+    return pretty_print(root)

@@ -1,0 +1,92 @@
+"""Template skeleton generation.
+
+§5 / Figure 7: the generator produces "a page template skeleton, which
+includes all the custom tags corresponding to the units of the page, but
+only the minimal HTML mark-up needed to define the layout grid of the
+page and the position of the various units in such a grid."  XSLT-style
+presentation rules later transform the skeleton into the final template.
+
+The layout grid depends on the page's layout category (§5 suggests
+classifying layouts — two-columns, three-columns, multi-frame...):
+units are dealt into the grid's columns round-robin.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodegenError
+from repro.webml.model import Page
+from repro.webml.units import ContentUnit
+from repro.xmlkit import Element, serialize
+
+#: columns per known layout category
+LAYOUT_COLUMNS = {
+    "one-column": 1,
+    "two-columns": 2,
+    "three-columns": 3,
+    "multi-frame": 2,
+}
+
+#: custom tag per unit kind (the View half of each unit, §3)
+UNIT_TAGS = {
+    "data": "webml:dataUnit",
+    "index": "webml:indexUnit",
+    "multidata": "webml:multidataUnit",
+    "multichoice": "webml:multichoiceUnit",
+    "scroller": "webml:scrollerUnit",
+    "entry": "webml:entryUnit",
+    "hierarchical": "webml:hierarchicalUnit",
+}
+
+
+def unit_tag_for(unit: ContentUnit) -> str:
+    try:
+        return UNIT_TAGS[unit.kind]
+    except KeyError:
+        # Plug-in units (§7) register their tags at generation time.
+        from repro.services.plugins import plugin_registry
+
+        plugin = plugin_registry.get(unit.kind)
+        if plugin is not None:
+            return plugin.tag_name
+        raise CodegenError(f"no custom tag for unit kind {unit.kind!r}") from None
+
+
+def generate_page_skeleton(page: Page,
+                           landmarks: list[tuple[str, str]] | None = None) -> str:
+    """Build the skeleton markup for one page (an XML document whose
+    custom tags the template engine resolves against unit beans).
+
+    ``landmarks`` lists the site view's landmark pages as
+    ``(page_id, label)`` pairs; when present, a ``webml:siteMenu`` tag
+    is placed above the grid and resolved into navigation at render
+    time.
+    """
+    columns = LAYOUT_COLUMNS.get(page.layout_category, 1)
+    html = Element("html")
+    head = html.add("head")
+    head.add("title", text=page.name)
+    body = html.add("body")
+    if landmarks:
+        menu = body.add("webml:siteMenu", {"current": page.id})
+        for page_id, label in landmarks:
+            menu.add("menuItem", {"page": page_id, "label": label})
+    table = body.add("table", {"class": "page-grid", "data-page": page.id})
+
+    rows: list[list[ContentUnit]] = []
+    for position, unit in enumerate(page.units):
+        if position % columns == 0:
+            rows.append([])
+        rows[-1].append(unit)
+
+    for row_units in rows:
+        row_el = table.add("tr")
+        for unit in row_units:
+            cell = row_el.add("td", {"class": "unit-cell"})
+            cell.add(
+                unit_tag_for(unit),
+                {"unit": unit.id, "name": unit.name, "kind": unit.kind},
+            )
+        # Pad short rows so the grid stays rectangular.
+        for _ in range(columns - len(row_units)):
+            row_el.add("td", {"class": "unit-cell empty"})
+    return serialize(html)

@@ -1,0 +1,173 @@
+"""Page descriptors.
+
+The paper (§4): "the descriptor associated to an individual page is more
+complex, because it describes the topology of the page units and links,
+which is needed for computing units in the proper order and with the
+correct input parameters."
+
+A :class:`PageDescriptor` therefore records:
+
+- the page's units in *computation order* (topologically sorted over the
+  intra-page transport links),
+- one :class:`SlotBinding` per unit input slot, saying where the value
+  comes from: an HTTP request parameter or another unit's output,
+- the :class:`NavigationTarget` list: every outgoing navigational link a
+  rendered page may offer, with the request parameters it must carry —
+  this is what the controller configuration is generated from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DescriptorError
+from repro.xmlkit import Element, parse_xml, pretty_print
+
+
+@dataclass
+class SlotBinding:
+    """Feed ``unit_id.slot`` from a request parameter or a unit output."""
+
+    unit_id: str
+    slot: str
+    source: str  # "request" | "unit"
+    request_param: str | None = None
+    source_unit_id: str | None = None
+    source_output: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.source == "request" and not self.request_param:
+            raise DescriptorError("request binding needs a request_param")
+        if self.source == "unit" and not (self.source_unit_id and self.source_output):
+            raise DescriptorError("unit binding needs source unit and output")
+        if self.source not in ("request", "unit"):
+            raise DescriptorError(f"unknown binding source {self.source!r}")
+
+
+@dataclass
+class NavigationTarget:
+    """One outgoing navigational link of the page (an anchor to render).
+
+    ``parameters`` maps the source unit's outputs to the request
+    parameters of the target (``(source_output, request_param)``).
+    """
+
+    link_id: str
+    source_unit_id: str | None  # None when the link leaves the page itself
+    target_kind: str  # "page" | "operation"
+    target_id: str  # page id or operation id
+    target_page_id: str | None = None  # page to show (unit targets resolve to it)
+    parameters: list[tuple[str, str]] = field(default_factory=list)
+    label: str | None = None
+
+
+@dataclass
+class PageDescriptor:
+    page_id: str
+    name: str
+    site_view_id: str
+    layout_category: str = "one-column"
+    unit_order: list[str] = field(default_factory=list)
+    bindings: list[SlotBinding] = field(default_factory=list)
+    navigation: list[NavigationTarget] = field(default_factory=list)
+
+    def bindings_for(self, unit_id: str) -> list[SlotBinding]:
+        return [b for b in self.bindings if b.unit_id == unit_id]
+
+    def navigation_from(self, unit_id: str | None) -> list[NavigationTarget]:
+        return [n for n in self.navigation if n.source_unit_id == unit_id]
+
+    # -- XML -----------------------------------------------------------------
+
+    def to_xml(self) -> str:
+        root = Element(
+            "pageDescriptor",
+            {
+                "id": self.page_id,
+                "name": self.name,
+                "siteview": self.site_view_id,
+                "layout": self.layout_category,
+            },
+        )
+        order_el = root.add("computationOrder")
+        for unit_id in self.unit_order:
+            order_el.add("unit", {"id": unit_id})
+        bindings_el = root.add("bindings")
+        for binding in self.bindings:
+            attrs = {
+                "unit": binding.unit_id,
+                "slot": binding.slot,
+                "source": binding.source,
+            }
+            if binding.source == "request":
+                attrs["param"] = binding.request_param
+            else:
+                attrs["fromUnit"] = binding.source_unit_id
+                attrs["output"] = binding.source_output
+            bindings_el.add("binding", attrs)
+        navigation_el = root.add("navigation")
+        for target in self.navigation:
+            attrs = {
+                "link": target.link_id,
+                "targetKind": target.target_kind,
+                "target": target.target_id,
+            }
+            if target.source_unit_id:
+                attrs["fromUnit"] = target.source_unit_id
+            if target.target_page_id:
+                attrs["targetPage"] = target.target_page_id
+            if target.label:
+                attrs["label"] = target.label
+            target_el = navigation_el.add("navTarget", attrs)
+            for output, request_param in target.parameters:
+                target_el.add("param", {"output": output, "request": request_param})
+        return pretty_print(root)
+
+    @classmethod
+    def from_xml(cls, document: str) -> "PageDescriptor":
+        root = parse_xml(document)
+        if root.tag != "pageDescriptor":
+            raise DescriptorError(f"expected <pageDescriptor>, got <{root.tag}>")
+        descriptor = cls(
+            page_id=root.require_attr("id"),
+            name=root.require_attr("name"),
+            site_view_id=root.require_attr("siteview"),
+            layout_category=root.get("layout", "one-column"),
+        )
+        order_el = root.find("computationOrder")
+        if order_el is not None:
+            descriptor.unit_order = [
+                u.require_attr("id") for u in order_el.find_all("unit")
+            ]
+        bindings_el = root.find("bindings")
+        if bindings_el is not None:
+            for binding_el in bindings_el.find_all("binding"):
+                source = binding_el.require_attr("source")
+                descriptor.bindings.append(
+                    SlotBinding(
+                        unit_id=binding_el.require_attr("unit"),
+                        slot=binding_el.require_attr("slot"),
+                        source=source,
+                        request_param=binding_el.get("param"),
+                        source_unit_id=binding_el.get("fromUnit"),
+                        source_output=binding_el.get("output"),
+                    )
+                )
+        navigation_el = root.find("navigation")
+        if navigation_el is not None:
+            for target_el in navigation_el.find_all("navTarget"):
+                descriptor.navigation.append(
+                    NavigationTarget(
+                        link_id=target_el.require_attr("link"),
+                        source_unit_id=target_el.get("fromUnit"),
+                        target_kind=target_el.require_attr("targetKind"),
+                        target_id=target_el.require_attr("target"),
+                        target_page_id=target_el.get("targetPage"),
+                        parameters=[
+                            (p.require_attr("output"), p.require_attr("request"))
+                            for p in target_el.find_all("param")
+                        ],
+                        label=target_el.get("label"),
+                    )
+                )
+        return descriptor

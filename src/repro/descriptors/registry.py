@@ -1,0 +1,128 @@
+"""The deployed descriptor store.
+
+At deployment, generated descriptors are written here as XML documents
+(the in-memory equivalent of WebRatio's descriptor files).  The registry
+supports the two §6 optimization hooks:
+
+- *query override*: ``redeploy_unit``/``redeploy_operation`` replace a
+  descriptor at runtime, bumping its version — "deploying the optimized
+  version without interrupting the service" (§8);
+- *optimized flag*: when the code generator re-runs, ``deploy_unit``
+  keeps a deployed descriptor marked ``optimized`` instead of
+  overwriting it with the regenerated default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.descriptors.operation_descriptor import OperationDescriptor
+from repro.descriptors.page_descriptor import PageDescriptor
+from repro.descriptors.unit_descriptor import UnitDescriptor
+from repro.errors import DescriptorError
+
+
+@dataclass
+class _Deployed:
+    xml: str
+    version: int = 1
+    parsed: object = None
+
+
+@dataclass
+class DescriptorRegistry:
+    units: dict[str, _Deployed] = field(default_factory=dict)
+    pages: dict[str, _Deployed] = field(default_factory=dict)
+    operations: dict[str, _Deployed] = field(default_factory=dict)
+
+    # -- deployment -----------------------------------------------------------
+
+    def deploy_unit(self, descriptor: UnitDescriptor) -> bool:
+        """Deploy a generated unit descriptor.
+
+        Returns False (and keeps the deployed version) when the deployed
+        descriptor is marked optimized and the incoming one is not.
+        """
+        existing = self.units.get(descriptor.unit_id)
+        if existing is not None:
+            deployed: UnitDescriptor = existing.parsed
+            if deployed.optimized and not descriptor.optimized:
+                return False
+        self._store(self.units, descriptor.unit_id, descriptor.to_xml(), descriptor)
+        return True
+
+    def deploy_page(self, descriptor: PageDescriptor) -> None:
+        self._store(self.pages, descriptor.page_id, descriptor.to_xml(), descriptor)
+
+    def deploy_operation(self, descriptor: OperationDescriptor) -> bool:
+        existing = self.operations.get(descriptor.operation_id)
+        if existing is not None:
+            deployed: OperationDescriptor = existing.parsed
+            if deployed.optimized and not descriptor.optimized:
+                return False
+        self._store(
+            self.operations, descriptor.operation_id, descriptor.to_xml(), descriptor
+        )
+        return True
+
+    def _store(self, table: dict, key: str, xml: str, parsed) -> None:
+        version = table[key].version + 1 if key in table else 1
+        table[key] = _Deployed(xml=xml, version=version, parsed=parsed)
+
+    # -- hot redeploy (XML in, as a human editor would produce) ---------------
+
+    def redeploy_unit(self, xml: str) -> UnitDescriptor:
+        descriptor = UnitDescriptor.from_xml(xml)
+        self._store(self.units, descriptor.unit_id, xml, descriptor)
+        return descriptor
+
+    def redeploy_operation(self, xml: str) -> OperationDescriptor:
+        descriptor = OperationDescriptor.from_xml(xml)
+        self._store(self.operations, descriptor.operation_id, xml, descriptor)
+        return descriptor
+
+    # -- lookup ------------------------------------------------------------------
+
+    def unit(self, unit_id: str) -> UnitDescriptor:
+        try:
+            return self.units[unit_id].parsed
+        except KeyError:
+            raise DescriptorError(f"no unit descriptor deployed for {unit_id!r}") \
+                from None
+
+    def page(self, page_id: str) -> PageDescriptor:
+        try:
+            return self.pages[page_id].parsed
+        except KeyError:
+            raise DescriptorError(f"no page descriptor deployed for {page_id!r}") \
+                from None
+
+    def operation(self, operation_id: str) -> OperationDescriptor:
+        try:
+            return self.operations[operation_id].parsed
+        except KeyError:
+            raise DescriptorError(
+                f"no operation descriptor deployed for {operation_id!r}"
+            ) from None
+
+    def unit_version(self, unit_id: str) -> int:
+        return self.units[unit_id].version if unit_id in self.units else 0
+
+    # -- file view (what would sit on disk) -----------------------------------------
+
+    def as_files(self) -> dict[str, str]:
+        files: dict[str, str] = {}
+        for unit_id, deployed in self.units.items():
+            files[f"descriptors/units/{unit_id}.xml"] = deployed.xml
+        for page_id, deployed in self.pages.items():
+            files[f"descriptors/pages/{page_id}.xml"] = deployed.xml
+        for operation_id, deployed in self.operations.items():
+            files[f"descriptors/operations/{operation_id}.xml"] = deployed.xml
+        return files
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "unit_descriptors": len(self.units),
+            "page_descriptors": len(self.pages),
+            "operation_descriptors": len(self.operations),
+        }

@@ -1,0 +1,37 @@
+"""Entity-Relationship data model.
+
+WebRatio specifies "the data requirements" with "a quite conventional"
+ER model whose limitations "make the ER schema easier to map onto a
+standard relational schema" (paper §1).  This package provides:
+
+- :mod:`repro.er.model` — entities, typed attributes, binary
+  relationships with cardinalities, and whole-model validation,
+- :mod:`repro.er.mapping` — the deterministic ER→relational mapping
+  (entity→table with an ``oid`` surrogate key, 1:N→foreign key,
+  N:M→bridge table) plus the metadata the query generators consume,
+- :mod:`repro.er.loader` — XML persistence of ER models (WebRatio
+  projects store their models as XML documents).
+"""
+
+from repro.er.loader import er_model_from_xml, er_model_to_xml
+from repro.er.mapping import (
+    EntityMap,
+    RelationalMapping,
+    RelationshipMap,
+    map_to_relational,
+)
+from repro.er.model import Attribute, Cardinality, Entity, ERModel, Relationship
+
+__all__ = [
+    "ERModel",
+    "Entity",
+    "Attribute",
+    "Relationship",
+    "Cardinality",
+    "map_to_relational",
+    "RelationalMapping",
+    "EntityMap",
+    "RelationshipMap",
+    "er_model_from_xml",
+    "er_model_to_xml",
+]

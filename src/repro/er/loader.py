@@ -1,0 +1,78 @@
+"""XML persistence for ER models.
+
+WebRatio projects store their models as XML documents edited through the
+graphical front-end; this module is the equivalent serialization for the
+reproduction (round-trippable through :mod:`repro.xmlkit`).
+
+Document shape::
+
+    <ermodel name="acm">
+      <entity name="Volume">
+        <attribute name="number" type="INTEGER" required="true"/>
+        ...
+      </entity>
+      <relationship name="VolumeToIssue" source="Volume" target="Issue"
+                    cardinality="1:N" inverse="IssueToVolume"/>
+    </ermodel>
+"""
+
+from __future__ import annotations
+
+from repro.er.model import Attribute, Cardinality, Entity, ERModel, Relationship
+from repro.errors import ERModelError
+from repro.xmlkit import Element, parse_xml, pretty_print
+
+
+def er_model_to_xml(model: ERModel) -> str:
+    root = Element("ermodel", {"name": model.name})
+    for entity in model.entities:
+        entity_el = root.add("entity", {"name": entity.name})
+        for attribute in entity.attributes:
+            entity_el.add(
+                "attribute",
+                {
+                    "name": attribute.name,
+                    "type": attribute.type_name,
+                    "required": "true" if attribute.required else "false",
+                },
+            )
+    for relationship in model.relationships:
+        attrs = {
+            "name": relationship.name,
+            "source": relationship.source,
+            "target": relationship.target,
+            "cardinality": relationship.cardinality.value,
+        }
+        if relationship.inverse_name:
+            attrs["inverse"] = relationship.inverse_name
+        root.add("relationship", attrs)
+    return pretty_print(root)
+
+
+def er_model_from_xml(document: str) -> ERModel:
+    root = parse_xml(document)
+    if root.tag != "ermodel":
+        raise ERModelError(f"expected <ermodel> document, got <{root.tag}>")
+    model = ERModel(name=root.get("name", "schema"))
+    for entity_el in root.find_all("entity"):
+        attributes = [
+            Attribute(
+                name=attr_el.require_attr("name"),
+                type_name=attr_el.get("type", "VARCHAR(255)"),
+                required=attr_el.get("required", "false") == "true",
+            )
+            for attr_el in entity_el.find_all("attribute")
+        ]
+        model.add_entity(Entity(entity_el.require_attr("name"), attributes))
+    for rel_el in root.find_all("relationship"):
+        model.add_relationship(
+            Relationship(
+                name=rel_el.require_attr("name"),
+                source=rel_el.require_attr("source"),
+                target=rel_el.require_attr("target"),
+                cardinality=Cardinality.parse(rel_el.get("cardinality", "1:N")),
+                inverse_name=rel_el.get("inverse"),
+            )
+        )
+    model.validate()
+    return model

@@ -1,0 +1,29 @@
+"""The MVC2 web tier (paper §2-§3, Figures 3-4).
+
+- :mod:`repro.mvc.http` — the HTTP substrate: requests, responses,
+  sessions (in-process; the architecture needs the protocol shape, not
+  sockets),
+- :mod:`repro.mvc.controller` — the Controller configured exclusively
+  from the generated action-mapping file,
+- :mod:`repro.mvc.actions` — page and operation action classes (the
+  Model-side entry points the Controller invokes),
+- :mod:`repro.mvc.dispatcher` — the front servlet tying them together.
+"""
+
+from repro.mvc.actions import ActionOutcome, OperationAction, PageAction
+from repro.mvc.controller import ActionMapping, Controller
+from repro.mvc.dispatcher import FrontController
+from repro.mvc.http import HttpRequest, HttpResponse, Session, SessionStore
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "Session",
+    "SessionStore",
+    "Controller",
+    "ActionMapping",
+    "PageAction",
+    "OperationAction",
+    "ActionOutcome",
+    "FrontController",
+]

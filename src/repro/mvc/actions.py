@@ -1,0 +1,132 @@
+"""Action classes — the Model-side entry points (§2-§3).
+
+"Each action class is a Java class wrapping a particular application
+function": the :class:`PageAction` extracts the request input and calls
+the page service; the :class:`OperationAction` runs an operation (or a
+chain of operations linked OK→OK) and tells the Controller which forward
+to take.  Actions never render markup — that is the View's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ControllerError
+from repro.mvc.controller import ActionMapping
+from repro.mvc.http import HttpRequest, Session
+from repro.services import (
+    GenericOperationService,
+    GenericPageService,
+    PageResult,
+    RuntimeContext,
+)
+
+#: safety bound on OK→operation chains (a modelling error otherwise)
+MAX_OPERATION_CHAIN = 16
+
+
+@dataclass
+class ActionOutcome:
+    """What the Controller should do after an action completes."""
+
+    kind: str  # "view" | "redirect"
+    page_result: PageResult | None = None
+    view: str | None = None
+    redirect_page_id: str | None = None
+    redirect_params: dict = field(default_factory=dict)
+    message: str | None = None
+
+
+class PageAction:
+    """Extract request parameters, invoke the page service, hand the
+    computed Model state to the View."""
+
+    def __init__(self, ctx: RuntimeContext):
+        self.ctx = ctx
+        self.page_service = GenericPageService(ctx)
+
+    def perform(self, mapping: ActionMapping, request: HttpRequest,
+                session: Session) -> ActionOutcome:
+        descriptor = self.ctx.registry.page(mapping.page_id)
+        params = dict(request.params)
+        # Session state (the logged-in user) is visible to page inputs as
+        # the pseudo request parameter "session.user".
+        if session.is_authenticated:
+            params.setdefault("session.user", session.user_oid)
+        page_result = self.page_service.compute_page(descriptor, params)
+        return ActionOutcome(
+            kind="view", page_result=page_result, view=mapping.view
+        )
+
+
+class OperationAction:
+    """Run the mapped operation, following OK→operation chains, then
+    redirect to the outcome page (§3: operations contribute no view)."""
+
+    def __init__(self, ctx: RuntimeContext):
+        self.ctx = ctx
+        self.operation_service = GenericOperationService(ctx)
+
+    def perform(self, mapping: ActionMapping, request: HttpRequest,
+                session: Session) -> ActionOutcome:
+        operation_id = mapping.operation_id
+        chain_inputs = self._request_inputs(operation_id, request)
+        last_message = None
+
+        for _hop in range(MAX_OPERATION_CHAIN):
+            descriptor = self.ctx.registry.operation(operation_id)
+            result = self.operation_service.execute(
+                descriptor, chain_inputs, session
+            )
+            outcome = descriptor.ok if result.ok else descriptor.ko
+            last_message = result.message
+            if outcome is None:
+                if result.ok:
+                    raise ControllerError(
+                        f"operation {descriptor.name!r} succeeded but has "
+                        "no OK target"
+                    )
+                # No KO link: fall back to the OK target with the message.
+                outcome = descriptor.ok
+                if outcome is None:
+                    raise ControllerError(
+                        f"operation {descriptor.name!r} failed and has no "
+                        "KO target"
+                    )
+            forwarded = {
+                request_param: result.outputs.get(output)
+                for output, request_param in outcome.parameters
+            }
+            if outcome.target_kind == "operation":
+                # Chain: forwarded values become the next operation's slots,
+                # merged under any request parameters addressed to it.
+                operation_id = outcome.target_id
+                chain_inputs = self._request_inputs(operation_id, request)
+                chain_inputs.update(
+                    {k: v for k, v in forwarded.items() if v is not None}
+                )
+                continue
+            redirect_params = {
+                k: v for k, v in forwarded.items() if v is not None
+            }
+            if last_message and not result.ok:
+                redirect_params["_message"] = last_message
+            return ActionOutcome(
+                kind="redirect",
+                redirect_page_id=outcome.target_page_id or outcome.target_id,
+                redirect_params=redirect_params,
+                message=last_message,
+            )
+        raise ControllerError(
+            f"operation chain exceeded {MAX_OPERATION_CHAIN} hops "
+            f"(cycle through {operation_id!r}?)"
+        )
+
+    @staticmethod
+    def _request_inputs(operation_id: str, request: HttpRequest) -> dict:
+        prefix = f"{operation_id}."
+        return {
+            name[len(prefix):]: value
+            for name, value in request.params.items()
+            if name.startswith(prefix)
+        }

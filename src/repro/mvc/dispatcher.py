@@ -1,0 +1,139 @@
+"""The front controller (the servlet of Figure 3).
+
+Receives :class:`HttpRequest` objects, resolves the session, routes
+through the Controller's action mappings, runs the action, and either
+renders the resulting Model state through the pluggable view renderer or
+emits a redirect.  Site views flagged ``requires_login`` are enforced
+here, before any action runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ControllerError, ReproError
+from repro.mvc.actions import ActionOutcome, OperationAction, PageAction
+from repro.mvc.controller import Controller
+from repro.mvc.http import (
+    HttpRequest,
+    HttpResponse,
+    SessionStore,
+    build_url,
+)
+from repro.services import PageResult, RuntimeContext
+
+#: view renderer signature: (page_result, request, controller) -> html
+ViewRenderer = Callable[[PageResult, HttpRequest, Controller], str]
+
+
+def plain_view_renderer(page_result: PageResult, request: HttpRequest,
+                        controller: Controller) -> str:
+    """A minimal fallback View (tests/benchmarks that skip presentation)."""
+    lines = [f"<html><body><h1>{page_result.name}</h1>"]
+    for bean in page_result.beans.values():
+        lines.append(f"<div class='unit' id='{bean.unit_id}'>{bean.name}: "
+                     f"{bean.row_count()} row(s)</div>")
+    lines.append("</body></html>")
+    return "".join(lines)
+
+
+class FrontController:
+    """The servlet: one instance serves every request of an application."""
+
+    def __init__(
+        self,
+        controller: Controller,
+        ctx: RuntimeContext,
+        view_renderer: ViewRenderer | None = None,
+    ):
+        self.controller = controller
+        self.ctx = ctx
+        self.sessions = SessionStore()
+        self.view_renderer = view_renderer or plain_view_renderer
+        self.page_action = PageAction(ctx)
+        self.operation_action = OperationAction(ctx)
+        self.requests_served = 0
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Serve one request; unexpected failures become 500 responses
+        (a servlet container never lets an exception escape to the
+        socket)."""
+        try:
+            return self._handle(request)
+        except ReproError as exc:
+            return HttpResponse(
+                status=500,
+                body=f"Internal error: {exc}",
+                content_type="text/plain",
+            )
+
+    def _handle(self, request: HttpRequest) -> HttpResponse:
+        self.requests_served += 1
+        session = self.sessions.get_or_create(request.session_id)
+        request.session_id = session.id
+
+        # "/" or "/<siteview>" land on the site view's home page.
+        if request.path == "/" or (
+            not self.controller.has_path(request.path)
+            and request.path.count("/") == 1
+        ):
+            return self._home_redirect(request)
+
+        try:
+            mapping = self.controller.resolve(request.path)
+        except ControllerError:
+            return HttpResponse.not_found(request.path)
+
+        home = self.controller.homes.get(mapping.site_view_id)
+        if home is not None and home.requires_login and not session.is_authenticated:
+            if not mapping.public and not self._is_login_operation(mapping):
+                return HttpResponse.forbidden(
+                    f"site view {mapping.site_view_id} requires login"
+                )
+
+        if mapping.action_type == "PageAction":
+            outcome = self.page_action.perform(mapping, request, session)
+        elif mapping.action_type == "OperationAction":
+            outcome = self.operation_action.perform(mapping, request, session)
+        else:
+            raise ControllerError(f"unknown action type {mapping.action_type!r}")
+        return self._respond(outcome, request, session)
+
+    def _is_login_operation(self, mapping) -> bool:
+        if mapping.action_type != "OperationAction":
+            return False
+        descriptor = self.ctx.registry.operation(mapping.operation_id)
+        return descriptor.kind == "login"
+
+    def _home_redirect(self, request: HttpRequest) -> HttpResponse:
+        if request.path == "/":
+            if not self.controller.homes:
+                return HttpResponse.not_found("no site views configured")
+            site_view_id = next(iter(self.controller.homes))
+        else:
+            site_view_id = request.path.strip("/")
+        try:
+            home = self.controller.home_for(site_view_id)
+        except ControllerError:
+            return HttpResponse.not_found(request.path)
+        return HttpResponse.redirect(
+            self.controller.page_path(site_view_id, home.page_id)
+        )
+
+    def _respond(self, outcome: ActionOutcome, request: HttpRequest,
+                 session) -> HttpResponse:
+        if outcome.kind == "redirect":
+            path = self.controller.path_of_page(outcome.redirect_page_id)
+            params = {
+                k: _to_request_value(v)
+                for k, v in outcome.redirect_params.items()
+            }
+            return HttpResponse.redirect(build_url(path, params))
+        body = self.view_renderer(outcome.page_result, request, self.controller)
+        return HttpResponse(status=200, body=body)
+
+
+def _to_request_value(value) -> str:
+    if isinstance(value, (list, tuple)):
+        return ",".join(str(v) for v in value)
+    return str(value)

@@ -1,0 +1,164 @@
+"""The page template engine.
+
+A :class:`PageTemplate` is a parsed template document — a skeleton or a
+rule-styled template — whose ``webml:*`` custom tags are resolved
+against the unit beans of a :class:`~repro.services.PageResult` at
+render time.  Static markup is emitted verbatim, so everything the
+presentation rules added survives untouched (§5's separation).
+
+Fragment caching (§6): when a custom tag carries ``fragment="cache"``
+(set by a presentation rule or by hand) and the render context has a
+fragment cache, the rendered HTML of that unit is cached and reused for
+identical bean content — the ESI-style *template-level* cache whose
+limits §6 analyses.
+"""
+
+from __future__ import annotations
+
+from repro.descriptors import PageDescriptor
+from repro.errors import TemplateRenderError
+from repro.mvc.http import build_url
+from repro.presentation.tags import renderer_for_tag
+from repro.services.page_service import PageResult
+from repro.xmlkit import Element, Node, Text, parse_xml, serialize
+
+
+class RenderContext:
+    """Everything a tag renderer may consult."""
+
+    def __init__(
+        self,
+        page_result: PageResult,
+        controller,
+        request=None,
+        fragment_cache=None,
+    ):
+        self.page_result = page_result
+        self.controller = controller
+        self.request = request
+        self.fragment_cache = fragment_cache
+
+    def navigation_from(self, unit_id: str):
+        return [
+            t for t in self.page_result.navigation
+            if t.source_unit_id == unit_id
+        ]
+
+    def same_page_url(self, extra_params: dict) -> str:
+        """The current page's URL with parameters merged (scrollers)."""
+        path = self.controller.path_of_page(self.page_result.page_id)
+        params = dict(self.request.params) if self.request is not None else {}
+        params.update(extra_params)
+        return build_url(path, params)
+
+
+class PageTemplate:
+    """A compiled page template, render-ready."""
+
+    def __init__(self, page_id: str, document: Element):
+        self.page_id = page_id
+        self.document = document
+
+    @classmethod
+    def from_xml(cls, page_id: str, xml: str) -> "PageTemplate":
+        return cls(page_id, parse_xml(xml))
+
+    def source(self) -> str:
+        return serialize(self.document)
+
+    def render(self, context: RenderContext) -> str:
+        """Produce the final HTML for one request."""
+        rendered = self._render_node(self.document, context)
+        assert rendered is not None
+        return serialize(rendered)
+
+    def _render_node(self, node: Node, context: RenderContext) -> Node | None:
+        if isinstance(node, Text):
+            return Text(node.value)
+        assert isinstance(node, Element)
+        if node.tag.startswith("webml:"):
+            return self._render_unit_tag(node, context)
+        clone = Element(node.tag, dict(node.attrs))
+        for child in node.children:
+            rendered = self._render_node(child, context)
+            if rendered is not None:
+                clone.append(rendered)
+        return clone
+
+    def _render_unit_tag(self, tag: Element,
+                         context: RenderContext) -> Node | None:
+        if tag.tag == "webml:siteMenu":
+            return self._render_site_menu(tag, context)
+        unit_id = tag.get("unit")
+        if unit_id is None:
+            raise TemplateRenderError(
+                f"custom tag <{tag.tag}> lacks the unit attribute"
+            )
+        bean = context.page_result.beans.get(unit_id)
+        if bean is None:
+            raise TemplateRenderError(
+                f"no unit bean computed for {unit_id!r} "
+                f"(page {self.page_id!r})"
+            )
+        cache = context.fragment_cache if tag.get("fragment") == "cache" else None
+        if cache is not None:
+            key = self._fragment_key(unit_id, bean)
+            cached = cache.get(key)
+            if cached is not None:
+                return parse_xml(cached)
+        renderer = renderer_for_tag(tag.tag)
+        rendered = renderer.render(bean, tag, context)
+        if cache is not None:
+            cache.put(self._fragment_key(unit_id, bean), serialize(rendered))
+        return rendered
+
+    @staticmethod
+    def _render_site_menu(tag: Element, context: RenderContext) -> Element:
+        """The landmark-page navigation menu (resolved against the
+        controller's live path mapping, so re-linking never breaks it)."""
+        menu = Element("ul", {"class": "site-menu"})
+        current = tag.get("current")
+        for item in tag.find_all("menuItem"):
+            page_id = item.require_attr("page")
+            entry = menu.add("li")
+            attrs = {"href": context.controller.path_of_page(page_id)}
+            if page_id == current:
+                attrs["class"] = "current"
+            entry.add("a", attrs, text=item.get("label", page_id))
+        return menu
+
+    @staticmethod
+    def _fragment_key(unit_id: str, bean) -> tuple:
+        """Fragment identity: the unit and a digest of its bean content.
+
+        The digest makes the cache correct by construction — but note
+        (§6's point) the *bean* still had to be computed to produce it:
+        fragment caching spares markup generation, not the queries.
+        """
+        import hashlib
+        import json
+
+        payload = json.dumps(
+            {
+                "current": bean.current,
+                "rows": bean.rows,
+                "fields": bean.fields,
+                "block": bean.block,
+            },
+            sort_keys=True,
+            default=str,
+        )
+        digest = hashlib.sha1(payload.encode()).hexdigest()
+        return (unit_id, digest)
+
+
+def render_page(
+    template: PageTemplate,
+    page_result: PageResult,
+    controller,
+    request=None,
+    fragment_cache=None,
+) -> str:
+    """Convenience wrapper used by the renderer and tests."""
+    context = RenderContext(page_result, controller, request, fragment_cache)
+    return template.render(context)

@@ -1,0 +1,91 @@
+"""Page layout categories (§5).
+
+"For facilitating the writing of page rules, page layouts could be
+classified into general categories (for instance, multi-frame pages,
+two-columns pages, three-columns pages, and so on), and different rule
+sets could be designed for each category of layout."
+
+Each factory returns the :class:`PageRule` that turns a skeleton's bare
+grid into that category's real chrome (banner, navigation strip,
+footer).  Stylesheet builders pick the factories matching the layout
+categories their site view uses.
+"""
+
+from __future__ import annotations
+
+from repro.presentation.xslt import PageRule
+
+
+def one_column_rule(site_name: str) -> PageRule:
+    return PageRule(
+        pattern="table[@class='page-grid']",
+        add_class="layout-one-column",
+        wrapper_html=(
+            "<div class='page'>"
+            f"<div class='site-banner'>{site_name}</div>"
+            "<div class='page-body'><placeholder/></div>"
+            f"<div class='site-footer'>{site_name} — generated</div>"
+            "</div>"
+        ),
+        name="one-column",
+    )
+
+
+def two_column_rule(site_name: str) -> PageRule:
+    return PageRule(
+        pattern="table[@class='page-grid']",
+        add_class="layout-two-columns",
+        set_attrs={"data-columns": "2"},
+        wrapper_html=(
+            "<div class='page'>"
+            f"<div class='site-banner'>{site_name}</div>"
+            "<div class='page-columns'><placeholder/></div>"
+            f"<div class='site-footer'>{site_name}</div>"
+            "</div>"
+        ),
+        name="two-columns",
+    )
+
+
+def three_column_rule(site_name: str) -> PageRule:
+    return PageRule(
+        pattern="table[@class='page-grid']",
+        add_class="layout-three-columns",
+        set_attrs={"data-columns": "3"},
+        wrapper_html=(
+            "<div class='page'>"
+            f"<div class='site-banner'>{site_name}</div>"
+            "<div class='page-columns wide'><placeholder/></div>"
+            f"<div class='site-footer'>{site_name}</div>"
+            "</div>"
+        ),
+        name="three-columns",
+    )
+
+
+def multi_frame_rule(site_name: str) -> PageRule:
+    return PageRule(
+        pattern="table[@class='page-grid']",
+        add_class="layout-multi-frame",
+        wrapper_html=(
+            "<div class='page frames'>"
+            f"<div class='site-banner frame-top'>{site_name}</div>"
+            "<div class='frame-left'>navigation</div>"
+            "<div class='frame-main'><placeholder/></div>"
+            "</div>"
+        ),
+        name="multi-frame",
+    )
+
+
+LAYOUT_RULE_FACTORIES = {
+    "one-column": one_column_rule,
+    "two-columns": two_column_rule,
+    "three-columns": three_column_rule,
+    "multi-frame": multi_frame_rule,
+}
+
+
+def rule_for_category(category: str, site_name: str) -> PageRule:
+    factory = LAYOUT_RULE_FACTORIES.get(category, one_column_rule)
+    return factory(site_name)

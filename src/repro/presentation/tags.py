@@ -1,0 +1,327 @@
+"""The WebML custom tag library.
+
+§3: "In the View, content units map to custom tags transforming the
+content stored in the unit beans into HTML."  Each renderer turns one
+unit bean into an HTML subtree.  Presentation rules (§5) influence the
+output only through attributes they set on the custom tag — e.g.
+``render-as``, ``show-title``, ``class`` — keeping the rendering logic
+and the look-and-feel independent.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TemplateRenderError
+from repro.mvc.http import build_url
+from repro.services.beans import UnitBean
+from repro.xmlkit import Element
+
+
+def _anchor_url(context, nav_target, values: dict) -> str:
+    """Build the href for one navigation target given output values."""
+    if nav_target.target_kind == "operation":
+        path = context.controller.operation_path(nav_target.target_id)
+        params = {
+            f"{nav_target.target_id}.{slot}": values.get(output)
+            for output, slot in nav_target.parameters
+        }
+    else:
+        path = context.controller.path_of_page(
+            nav_target.target_page_id or nav_target.target_id
+        )
+        params = {
+            request_param: values.get(output)
+            for output, request_param in nav_target.parameters
+        }
+    return build_url(path, {k: v for k, v in params.items() if v is not None})
+
+
+def _unit_box(bean: UnitBean, tag: Element) -> Element:
+    """The common wrapper every unit renders into."""
+    css_class = f"unit unit-{bean.kind}"
+    extra = tag.get("class")
+    if extra:
+        css_class += f" {extra}"
+    box = Element("div", {"class": css_class, "id": bean.unit_id})
+    if tag.get("show-title") == "true":
+        box.add("h3", {"class": "unit-title"}, text=bean.name)
+    return box
+
+
+def _row_values(row: dict) -> list[tuple[str, object]]:
+    return [(k, v) for k, v in row.items()
+            if k != "_children" and not k.startswith("_")]
+
+
+class DataUnitTag:
+    """Attribute/value rendition of a single object."""
+
+    def render(self, bean: UnitBean, tag: Element, context) -> Element:
+        box = _unit_box(bean, tag)
+        if bean.current is None:
+            box.add("p", {"class": "empty"}, text="No content")
+            return box
+        listing = box.add("dl", {"class": "data-attributes"})
+        for name, value in _row_values(bean.current):
+            listing.add("dt", text=str(name))
+            listing.add("dd", text="" if value is None else str(value))
+        self._render_anchors(bean, box, context)
+        return box
+
+    def _render_anchors(self, bean: UnitBean, box: Element, context) -> None:
+        targets = [
+            t for t in context.navigation_from(bean.unit_id)
+        ]
+        if not targets or bean.current is None:
+            return
+        nav = box.add("p", {"class": "unit-links"})
+        for target in targets:
+            nav.add(
+                "a",
+                {"href": _anchor_url(context, target, bean.current)},
+                text=target.label or "open",
+            )
+
+
+class IndexUnitTag:
+    """List rendition with one anchor per row (the defining behaviour of
+    the index unit: 'the user picks one')."""
+
+    list_kind = "index"
+
+    def render(self, bean: UnitBean, tag: Element, context) -> Element:
+        box = _unit_box(bean, tag)
+        if not bean.rows:
+            box.add("p", {"class": "empty"}, text="No content")
+            return box
+        render_as = tag.get("render-as", "table")
+        targets = context.navigation_from(bean.unit_id)
+        if render_as == "list":
+            holder = box.add("ul", {"class": "index-rows"})
+            for row in bean.rows:
+                item = holder.add("li", {"class": "index-row"})
+                self._render_row_inline(item, row, targets, context)
+        else:
+            holder = box.add("table", {"class": "index-rows"})
+            for row in bean.rows:
+                line = holder.add("tr", {"class": "index-row"})
+                cell = line.add("td")
+                self._render_row_inline(cell, row, targets, context)
+        return box
+
+    def _render_row_inline(self, parent: Element, row: dict, targets,
+                           context) -> None:
+        text = " — ".join(
+            str(v) for k, v in _row_values(row) if k != "oid" and v is not None
+        ) or f"#{row.get('oid')}"
+        if targets:
+            parent.add(
+                "a", {"href": _anchor_url(context, targets[0], row)}, text=text
+            )
+            for extra in targets[1:]:
+                parent.add(
+                    "a",
+                    {"href": _anchor_url(context, extra, row),
+                     "class": "extra-link"},
+                    text=extra.label or "more",
+                )
+        else:
+            parent.add_text(text)
+
+
+class MultidataUnitTag:
+    """Tabular rendition of every attribute of every object."""
+
+    def render(self, bean: UnitBean, tag: Element, context) -> Element:
+        box = _unit_box(bean, tag)
+        if not bean.rows:
+            box.add("p", {"class": "empty"}, text="No content")
+            return box
+        table = box.add("table", {"class": "multidata-rows"})
+        header = table.add("tr")
+        for name, _value in _row_values(bean.rows[0]):
+            header.add("th", text=str(name))
+        for row in bean.rows:
+            line = table.add("tr")
+            for _name, value in _row_values(row):
+                line.add("td", text="" if value is None else str(value))
+        return box
+
+
+class MultichoiceUnitTag:
+    """Checkbox form; submits the chosen oids to the first target."""
+
+    def render(self, bean: UnitBean, tag: Element, context) -> Element:
+        box = _unit_box(bean, tag)
+        targets = context.navigation_from(bean.unit_id)
+        form_attrs = {"method": "get", "class": "multichoice-form"}
+        checkbox_name = f"{bean.unit_id}.oids"
+        if targets:
+            target = targets[0]
+            if target.target_kind == "operation":
+                form_attrs["action"] = context.controller.operation_path(
+                    target.target_id
+                )
+                # checkboxes submit straight into the operation's slot
+                for output, slot in target.parameters:
+                    if output == "oids":
+                        checkbox_name = f"{target.target_id}.{slot}"
+            else:
+                form_attrs["action"] = context.controller.path_of_page(
+                    target.target_page_id or target.target_id
+                )
+                for output, request_param in target.parameters:
+                    if output == "oids":
+                        checkbox_name = request_param
+        form = box.add("form", form_attrs)
+        chosen = set(bean.outputs.get("oids") or [])
+        for row in bean.rows:
+            label = form.add("label", {"class": "choice-row"})
+            attrs = {
+                "type": "checkbox",
+                "name": checkbox_name,
+                "value": str(row.get("oid")),
+            }
+            if row.get("oid") in chosen:
+                attrs["checked"] = "checked"
+            label.add("input", attrs)
+            label.add_text(
+                " — ".join(str(v) for k, v in _row_values(row) if k != "oid")
+            )
+        form.add("button", {"type": "submit"}, text="Choose")
+        return box
+
+
+class ScrollerUnitTag:
+    """Row block plus first/previous/next/last block navigation."""
+
+    def render(self, bean: UnitBean, tag: Element, context) -> Element:
+        box = _unit_box(bean, tag)
+        holder = box.add("ul", {"class": "scroller-rows"})
+        for row in bean.rows:
+            holder.add(
+                "li",
+                text=" — ".join(
+                    str(v) for k, v in _row_values(row) if k != "oid"
+                ),
+            )
+        if bean.block_count and bean.block_count > 1:
+            nav = box.add("p", {"class": "scroller-nav"})
+            current = bean.block or 1
+            for label, block in (
+                ("first", 1),
+                ("prev", max(1, current - 1)),
+                ("next", min(bean.block_count, current + 1)),
+                ("last", bean.block_count),
+            ):
+                href = context.same_page_url(
+                    {f"{bean.unit_id}.block": str(block)}
+                )
+                nav.add("a", {"href": href, "class": f"scroll-{label}"},
+                        text=label)
+            nav.add("span", {"class": "scroll-pos"},
+                    text=f"block {current}/{bean.block_count}")
+        return box
+
+
+class EntryUnitTag:
+    """Form rendition; the action comes from the unit's outgoing link."""
+
+    def render(self, bean: UnitBean, tag: Element, context) -> Element:
+        box = _unit_box(bean, tag)
+        targets = context.navigation_from(bean.unit_id)
+        form_attrs = {"method": "get", "class": "entry-form"}
+        field_param_names: dict[str, str] = {}
+        if targets:
+            target = targets[0]
+            if target.target_kind == "operation":
+                form_attrs["action"] = context.controller.operation_path(
+                    target.target_id
+                )
+                field_param_names = {
+                    output: f"{target.target_id}.{slot}"
+                    for output, slot in target.parameters
+                }
+            else:
+                form_attrs["action"] = context.controller.path_of_page(
+                    target.target_page_id or target.target_id
+                )
+                field_param_names = dict(target.parameters)
+        form = box.add("form", form_attrs)
+        for field_spec in bean.fields:
+            name = field_spec["name"]
+            param = field_param_names.get(name, name)
+            row = form.add("p", {"class": "entry-field"})
+            row.add("label", text=field_spec.get("label") or name)
+            if field_spec.get("type") == "textarea":
+                row.add("textarea", {"name": param},
+                        text=str(field_spec.get("value") or ""))
+            else:
+                row.add("input", {
+                    "type": field_spec.get("type", "text"),
+                    "name": param,
+                    "value": str(field_spec.get("value") or ""),
+                })
+        form.add("button", {"type": "submit"}, text="Submit")
+        return box
+
+
+class HierarchicalUnitTag:
+    """Nested list rendition of Figure 1's hierarchical index."""
+
+    def render(self, bean: UnitBean, tag: Element, context) -> Element:
+        box = _unit_box(bean, tag)
+        if not bean.rows:
+            box.add("p", {"class": "empty"}, text="No content")
+            return box
+        targets = context.navigation_from(bean.unit_id)
+        box.append(self._render_level(bean.rows, 0, targets, context))
+        return box
+
+    def _render_level(self, rows: list[dict], depth: int, targets,
+                      context) -> Element:
+        holder = Element("ul", {"class": f"hierarchy-level level-{depth}"})
+        for row in rows:
+            item = holder.add("li")
+            text = " — ".join(
+                str(v) for k, v in _row_values(row)
+                if k != "oid" and v is not None
+            ) or f"#{row.get('oid')}"
+            children = row.get("_children")
+            if children is None and targets:
+                # leaf rows carry the unit's outgoing anchor
+                item.add(
+                    "a", {"href": _anchor_url(context, targets[0], row)},
+                    text=text,
+                )
+            else:
+                item.add("span", {"class": "hierarchy-node"}, text=text)
+            if children:
+                item.append(
+                    self._render_level(children, depth + 1, targets, context)
+                )
+        return holder
+
+
+#: tag name → renderer (what the template engine dispatches on)
+TAG_RENDERERS = {
+    "webml:dataUnit": DataUnitTag(),
+    "webml:indexUnit": IndexUnitTag(),
+    "webml:multidataUnit": MultidataUnitTag(),
+    "webml:multichoiceUnit": MultichoiceUnitTag(),
+    "webml:scrollerUnit": ScrollerUnitTag(),
+    "webml:entryUnit": EntryUnitTag(),
+    "webml:hierarchicalUnit": HierarchicalUnitTag(),
+}
+
+
+def renderer_for_tag(tag_name: str):
+    renderer = TAG_RENDERERS.get(tag_name)
+    if renderer is not None:
+        return renderer
+    from repro.services.plugins import plugin_registry
+
+    for kind in plugin_registry.kinds():
+        plugin = plugin_registry.get(kind)
+        if plugin.tag_name == tag_name and plugin.renderer is not None:
+            return plugin.renderer
+    raise TemplateRenderError(f"no renderer for custom tag <{tag_name}>")

@@ -1,0 +1,206 @@
+"""XSLT-style presentation rules (§5, Figure 7).
+
+Two rule kinds, exactly as the paper defines them:
+
+- **page rules** "match the outermost part of the skeleton's layout (for
+  example, the top-level HTML table) and transform it into the actual
+  grid of the page, which may include multiple frames, images, static
+  texts, and other kinds of embellishments";
+- **unit rules** "match a class of units ... and produce the markup for
+  their presentation", which here means decorating the custom tag (the
+  dynamic part stays a tag, §5) and wrapping it in static markup.
+
+A :class:`Stylesheet` holds rules plus CSS; ``apply`` transforms a
+skeleton into a final template.  Conflicts resolve by pattern
+specificity, then declaration order.  Application can happen at compile
+time (once per template) or at request time (see
+:mod:`repro.presentation.renderer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RuleError
+from repro.xmlkit import Element, Pattern, compile_pattern, parse_xml, serialize
+
+
+@dataclass
+class PageRule:
+    """Decorates/wraps the page grid.
+
+    - ``wrapper_html``: markup with a ``<placeholder/>`` element where
+      the matched grid is re-inserted (banner/footer embellishments),
+    - ``set_attrs``: attributes forced onto the matched element,
+    - ``add_class``: CSS class appended to the matched element.
+    """
+
+    pattern: str
+    wrapper_html: str | None = None
+    set_attrs: dict = field(default_factory=dict)
+    add_class: str | None = None
+    name: str = "page-rule"
+    _compiled: Pattern = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._compiled = compile_pattern(self.pattern)
+        if self.wrapper_html is not None:
+            wrapper = parse_xml(self.wrapper_html)
+            if not _find_placeholder(wrapper):
+                raise RuleError(
+                    f"rule {self.name!r}: wrapper_html needs a <placeholder/>"
+                )
+
+    def matches(self, element: Element) -> bool:
+        return self._compiled.matches(element)
+
+    @property
+    def specificity(self) -> int:
+        return self._compiled.specificity
+
+    def apply(self, element: Element) -> Element:
+        for attr_name, attr_value in self.set_attrs.items():
+            element.set(attr_name, attr_value)
+        if self.add_class:
+            existing = element.get("class", "")
+            element.set(
+                "class", f"{existing} {self.add_class}".strip()
+            )
+        if self.wrapper_html is not None:
+            wrapper = parse_xml(self.wrapper_html)
+            placeholder = _find_placeholder(wrapper)
+            if element.parent is not None:
+                element.replace_with(wrapper)
+            placeholder.replace_with(element)
+            return wrapper
+        return element
+
+
+@dataclass
+class UnitRule:
+    """Decorates the custom tags of a class of units.
+
+    - ``set_attrs`` are attributes written onto the tag (``render-as``,
+      ``show-title``, ``class``... — the knobs tag renderers read),
+    - ``box_html`` optionally wraps the tag in static markup (with a
+      ``<placeholder/>``).
+    """
+
+    pattern: str  # e.g. "webml:indexUnit" or "webml:dataUnit[@kind='data']"
+    set_attrs: dict = field(default_factory=dict)
+    box_html: str | None = None
+    name: str = "unit-rule"
+    _compiled: Pattern = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._compiled = compile_pattern(self.pattern)
+        if self.box_html is not None:
+            wrapper = parse_xml(self.box_html)
+            if not _find_placeholder(wrapper):
+                raise RuleError(
+                    f"rule {self.name!r}: box_html needs a <placeholder/>"
+                )
+
+    def matches(self, element: Element) -> bool:
+        return self._compiled.matches(element)
+
+    @property
+    def specificity(self) -> int:
+        return self._compiled.specificity
+
+    def apply(self, element: Element) -> Element:
+        for attr_name, attr_value in self.set_attrs.items():
+            element.set(attr_name, attr_value)
+        if self.box_html is not None:
+            wrapper = parse_xml(self.box_html)
+            placeholder = _find_placeholder(wrapper)
+            if element.parent is not None:
+                element.replace_with(wrapper)
+            placeholder.replace_with(element)
+            return wrapper
+        return element
+
+
+def _find_placeholder(tree: Element) -> Element | None:
+    for element in tree.iter():
+        if element.tag == "placeholder":
+            return element
+    return None
+
+
+@dataclass
+class Stylesheet:
+    """A named bundle of page rules, unit rules, and CSS.
+
+    The Acer-Euro deployment needed exactly three of these for 556
+    pages (§8) — one per site-view family.
+    """
+
+    name: str
+    page_rules: list[PageRule] = field(default_factory=list)
+    unit_rules: list[UnitRule] = field(default_factory=list)
+    css: str = ""
+    devices: list[str] = field(default_factory=lambda: ["html"])
+
+    def apply(self, skeleton_xml: str) -> str:
+        """Transform a skeleton document into a final template."""
+        tree = parse_xml(skeleton_xml)
+        tree = self._apply_rules(tree, self.page_rules)
+        tree = self._apply_rules(tree, self.unit_rules)
+        if self.css:
+            self._attach_css(tree)
+        return serialize(tree)
+
+    def _apply_rules(self, tree: Element, rules: list) -> Element:
+        # Collect matches first: applying a rule rewrites the tree.
+        matches: list[tuple[Element, object]] = []
+        for element in tree.iter():
+            best = None
+            for rule in rules:
+                if rule.matches(element):
+                    if best is None or rule.specificity > best.specificity:
+                        best = rule
+            if best is not None:
+                matches.append((element, best))
+        for element, rule in matches:
+            replacement = rule.apply(element)
+            if element is tree:
+                tree = replacement
+        return tree
+
+    def _attach_css(self, tree: Element) -> None:
+        head = None
+        for element in tree.iter():
+            if element.tag == "head":
+                head = element
+                break
+        if head is None and tree.tag == "html":
+            head = Element("head")
+            tree.insert(0, head)
+        if head is not None:
+            head.add("style", {"type": "text/css"}, text=self.css)
+
+    def coverage(self, skeleton_xml: str) -> dict:
+        """How much of a skeleton this stylesheet styles (experiment E3):
+        the fraction of custom tags matched by at least one unit rule and
+        whether any page rule fired."""
+        tree = parse_xml(skeleton_xml)
+        unit_tags = [
+            e for e in tree.iter()
+            if e.tag.startswith("webml:") and e.tag != "webml:siteMenu"
+            # the site menu is resolved by the engine, not by unit rules
+        ]
+        styled = sum(
+            1 for tag in unit_tags
+            if any(rule.matches(tag) for rule in self.unit_rules)
+        )
+        page_styled = any(
+            rule.matches(element)
+            for element in tree.iter()
+            for rule in self.page_rules
+        )
+        return {
+            "unit_tags": len(unit_tags),
+            "styled_unit_tags": styled,
+            "page_styled": page_styled,
+        }

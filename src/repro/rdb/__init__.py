@@ -1,0 +1,55 @@
+"""In-memory relational engine.
+
+The paper's applications run against "any JDBC or ODBC compliant data
+source"; this package is that data source for the reproduction.  It is a
+real (if small) SQL engine, not a mock: generated queries are parsed,
+planned, and executed against row storage, with primary/foreign-key and
+NOT NULL enforcement, secondary indexes, and DB-API-style connections.
+
+Layering (each module only imports the ones above it):
+
+- :mod:`repro.rdb.types` — the SQL type system and value coercion,
+- :mod:`repro.rdb.schema` — table/column/key/index definitions,
+- :mod:`repro.rdb.expr` — the expression AST with SQL three-valued logic,
+- :mod:`repro.rdb.sqlparser` — tokenizer + recursive-descent SQL parser,
+- :mod:`repro.rdb.storage` — heap row storage with hash indexes,
+- :mod:`repro.rdb.planner` / :mod:`repro.rdb.executor` — plan and run
+  SELECT statements (scans, filters, hash and nested-loop joins, grouping,
+  sorting, limits),
+- :mod:`repro.rdb.database` — the engine facade with DDL/DML and
+  constraint enforcement,
+- :mod:`repro.rdb.connection` — connections, cursors and a pool.
+"""
+
+from repro.rdb.connection import Connection, ConnectionPool, Cursor
+from repro.rdb.database import Database
+from repro.rdb.schema import Column, ForeignKey, Index, TableSchema
+from repro.rdb.types import (
+    BooleanType,
+    DateType,
+    FloatType,
+    IntegerType,
+    SqlType,
+    TextType,
+    VarcharType,
+    type_from_name,
+)
+
+__all__ = [
+    "Database",
+    "Connection",
+    "Cursor",
+    "ConnectionPool",
+    "TableSchema",
+    "Column",
+    "ForeignKey",
+    "Index",
+    "SqlType",
+    "IntegerType",
+    "FloatType",
+    "VarcharType",
+    "TextType",
+    "BooleanType",
+    "DateType",
+    "type_from_name",
+]

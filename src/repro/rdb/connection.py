@@ -1,0 +1,164 @@
+"""DB-API-flavoured connections, cursors, and a pool.
+
+The generated business tier talks to the database the way the paper's
+Java services talk to JDBC: acquire a connection from a pool, execute a
+parameterized statement through a cursor, read the rows, release the
+connection.  Positional (``?``) parameters are passed as a sequence,
+named (``:name``) parameters as a mapping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import DatabaseError
+from repro.rdb.database import Database
+from repro.rdb.executor import ResultSet
+
+
+def normalize_params(params) -> dict:
+    """Convert DB-API style parameters to the engine's name→value dict.
+
+    Positional placeholders are numbered "1", "2", ... left to right.
+    """
+    if params is None:
+        return {}
+    if isinstance(params, Mapping):
+        return {str(k): v for k, v in params.items()}
+    if isinstance(params, Sequence) and not isinstance(params, (str, bytes)):
+        return {str(i + 1): v for i, v in enumerate(params)}
+    raise DatabaseError(f"unsupported parameter container {type(params).__name__}")
+
+
+class Cursor:
+    """A lightweight DB-API-style cursor."""
+
+    def __init__(self, connection: "Connection"):
+        self.connection = connection
+        self._result: ResultSet | None = None
+        self.rowcount = -1
+        self.lastrowid: int | None = None
+        self._fetch_position = 0
+
+    def execute(self, sql: str, params=None) -> "Cursor":
+        database = self.connection._require_open()
+        outcome = database.execute(sql, normalize_params(params))
+        self._fetch_position = 0
+        if isinstance(outcome, ResultSet):
+            self._result = outcome
+            self.rowcount = len(outcome)
+        else:
+            self._result = None
+            self.rowcount = outcome if isinstance(outcome, int) else -1
+        self.lastrowid = database.last_insert_id
+        return self
+
+    @property
+    def description(self) -> list[tuple] | None:
+        """Column metadata of the last SELECT, DB-API shaped."""
+        if self._result is None:
+            return None
+        return [(name, None, None, None, None, None, None)
+                for name in self._result.columns]
+
+    @property
+    def columns(self) -> list[str]:
+        return [] if self._result is None else list(self._result.columns)
+
+    def fetchone(self) -> dict | None:
+        if self._result is None or self._fetch_position >= len(self._result.rows):
+            return None
+        row = self._result.rows[self._fetch_position]
+        self._fetch_position += 1
+        return row
+
+    def fetchall(self) -> list[dict]:
+        if self._result is None:
+            return []
+        rows = self._result.rows[self._fetch_position:]
+        self._fetch_position = len(self._result.rows)
+        return rows
+
+    def fetchmany(self, size: int = 1) -> list[dict]:
+        if self._result is None:
+            return []
+        rows = self._result.rows[self._fetch_position : self._fetch_position + size]
+        self._fetch_position += len(rows)
+        return rows
+
+
+class Connection:
+    """A handle to a database; closing it invalidates its cursors."""
+
+    def __init__(self, database: Database, pool: "ConnectionPool | None" = None):
+        self._database: Database | None = database
+        self._pool = pool
+
+    def _require_open(self) -> Database:
+        if self._database is None:
+            raise DatabaseError("connection is closed")
+        return self._database
+
+    @property
+    def database(self) -> Database:
+        return self._require_open()
+
+    def cursor(self) -> Cursor:
+        self._require_open()
+        return Cursor(self)
+
+    def execute(self, sql: str, params=None) -> Cursor:
+        return self.cursor().execute(sql, params)
+
+    def close(self) -> None:
+        """Return to the pool if pooled, otherwise invalidate."""
+        if self._pool is not None:
+            self._pool.release(self)
+        else:
+            self._database = None
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ConnectionPool:
+    """A fixed-size connection pool.
+
+    ``acquire`` raises when the pool is exhausted — the application
+    server sizes its pools explicitly, and exhaustion is a signal the
+    experiments watch, not something to paper over.
+    """
+
+    def __init__(self, database: Database, size: int = 8):
+        if size <= 0:
+            raise DatabaseError("pool size must be positive")
+        self.database = database
+        self.size = size
+        self._idle: list[Connection] = [Connection(database, self) for _ in range(size)]
+        self._in_use: set[int] = set()
+        self.acquired_total = 0
+        self.peak_in_use = 0
+
+    def acquire(self) -> Connection:
+        if not self._idle:
+            raise DatabaseError(
+                f"connection pool exhausted ({self.size} connections in use)"
+            )
+        connection = self._idle.pop()
+        self._in_use.add(id(connection))
+        self.acquired_total += 1
+        self.peak_in_use = max(self.peak_in_use, len(self._in_use))
+        return connection
+
+    def release(self, connection: Connection) -> None:
+        if id(connection) not in self._in_use:
+            raise DatabaseError("releasing a connection not acquired from this pool")
+        self._in_use.remove(id(connection))
+        self._idle.append(connection)
+
+    @property
+    def in_use(self) -> int:
+        return len(self._in_use)

@@ -1,0 +1,405 @@
+"""The engine facade.
+
+:class:`Database` owns every table, executes statements (parsed or raw
+SQL), enforces foreign keys, caches SELECT plans, and keeps execution
+statistics.  The statistics matter to the reproduction: experiment E5
+counts the *data-extraction queries actually executed* to show what the
+unit-bean cache spares (paper §6).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+from repro.errors import IntegrityError, QueryError, SchemaError
+from repro.rdb.executor import ResultSet, RowScope
+from repro.rdb.planner import SelectPlan
+from repro.rdb.schema import ForeignKey, TableSchema
+from repro.rdb.sqlparser import (
+    CreateIndex,
+    CreateTable,
+    Delete,
+    DropTable,
+    Insert,
+    Select,
+    Statement,
+    Update,
+    parse_sql,
+)
+from repro.rdb.storage import TableStore
+
+
+@dataclass
+class DatabaseStats:
+    """Cumulative statement counters (resettable)."""
+
+    selects: int = 0
+    inserts: int = 0
+    updates: int = 0
+    deletes: int = 0
+    ddl: int = 0
+    rows_read: int = 0
+    per_table_writes: dict = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.selects = 0
+        self.inserts = 0
+        self.updates = 0
+        self.deletes = 0
+        self.ddl = 0
+        self.rows_read = 0
+        self.per_table_writes = {}
+
+    def record_write(self, table: str) -> None:
+        self.per_table_writes[table] = self.per_table_writes.get(table, 0) + 1
+
+
+class Database:
+    """An in-memory relational database."""
+
+    def __init__(self, name: str = "main"):
+        self.name = name
+        self.tables: dict[str, TableStore] = {}
+        self.stats = DatabaseStats()
+        self.last_insert_id: int | None = None
+        self._plan_cache: dict[str, SelectPlan] = {}
+        self._undo_log: list[tuple] | None = None
+
+    # -- transactions -----------------------------------------------------------
+    # A single-level undo-log transaction (the autocommit JDBC world the
+    # generated services target, plus explicit atomicity for operations).
+    # DDL is not transactional; auto-increment counters do not roll back
+    # (like real sequences).
+
+    def begin(self) -> None:
+        if self._undo_log is not None:
+            raise QueryError("a transaction is already active")
+        self._undo_log = []
+
+    def commit(self) -> None:
+        if self._undo_log is None:
+            raise QueryError("no active transaction to commit")
+        self._undo_log = None
+
+    def rollback(self) -> None:
+        if self._undo_log is None:
+            raise QueryError("no active transaction to roll back")
+        log, self._undo_log = self._undo_log, None
+        for entry in reversed(log):
+            kind, table, row_id, row = entry
+            store = self.table(table)
+            if kind == "insert":
+                if row_id in store.rows:
+                    store.delete_row(row_id)
+            elif kind == "delete":
+                store.restore_row(row_id, row)
+            else:  # update
+                store.force_row(row_id, row)
+
+    @contextlib.contextmanager
+    def transaction(self):
+        """``with db.transaction(): ...`` — commit on success, roll back
+        on any exception."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            self.rollback()
+            raise
+        else:
+            self.commit()
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._undo_log is not None
+
+    def _record(self, kind: str, table: str, row_id: int,
+                row: dict | None = None) -> None:
+        if self._undo_log is not None:
+            self._undo_log.append((kind, table, row_id, row))
+
+    # -- schema ---------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> TableStore:
+        if schema.name in self.tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        for fkey in schema.foreign_keys:
+            self._check_fk_target(schema.name, fkey)
+        store = TableStore(schema)
+        self.tables[schema.name] = store
+        self._plan_cache.clear()
+        return store
+
+    def _check_fk_target(self, table: str, fkey: ForeignKey) -> None:
+        # Self-references are resolved against the schema being created,
+        # which the caller has already validated column-wise.
+        if fkey.target_table == table:
+            return
+        target = self.tables.get(fkey.target_table)
+        if target is None:
+            raise SchemaError(
+                f"foreign key of {table!r} references unknown table "
+                f"{fkey.target_table!r}"
+            )
+        for column in fkey.target_columns:
+            if not target.schema.has_column(column):
+                raise SchemaError(
+                    f"foreign key of {table!r} references unknown column "
+                    f"{fkey.target_table}.{column}"
+                )
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        if name not in self.tables:
+            if if_exists:
+                return
+            raise SchemaError(f"no table {name!r} to drop")
+        for other_name, other in self.tables.items():
+            if other_name == name:
+                continue
+            for fkey in other.schema.foreign_keys:
+                if fkey.target_table == name:
+                    raise SchemaError(
+                        f"cannot drop {name!r}: referenced by {other_name!r}"
+                    )
+        del self.tables[name]
+        self._plan_cache.clear()
+
+    def table(self, name: str) -> TableStore:
+        store = self.tables.get(name)
+        if store is None:
+            raise SchemaError(f"unknown table {name!r}")
+        return store
+
+    # -- statement execution -----------------------------------------------------
+
+    def execute(self, sql: str | Statement, params: dict | None = None):
+        """Execute SQL text or a pre-parsed statement.
+
+        Returns a :class:`ResultSet` for SELECT, the affected row count
+        for DML, and ``None`` for DDL.
+        """
+        statement = parse_sql(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, Select):
+            plan = self._plan(statement, sql if isinstance(sql, str) else None)
+            result = plan.execute(params)
+            self.stats.selects += 1
+            self.stats.rows_read += len(result)
+            return result
+        if isinstance(statement, Insert):
+            return self._execute_insert(statement, params or {})
+        if isinstance(statement, Update):
+            return self._execute_update(statement, params or {})
+        if isinstance(statement, Delete):
+            return self._execute_delete(statement, params or {})
+        if isinstance(statement, CreateTable):
+            self.create_table(statement.schema)
+            self.stats.ddl += 1
+            return None
+        if isinstance(statement, CreateIndex):
+            self.table(statement.table).add_index(statement.index)
+            self.stats.ddl += 1
+            self._plan_cache.clear()
+            return None
+        if isinstance(statement, DropTable):
+            self.drop_table(statement.table, statement.if_exists)
+            self.stats.ddl += 1
+            return None
+        raise QueryError(f"unsupported statement {statement!r}")
+
+    def query(self, sql: str, params: dict | None = None) -> ResultSet:
+        """Execute a statement that must be a SELECT."""
+        result = self.execute(sql, params)
+        if not isinstance(result, ResultSet):
+            raise QueryError(f"expected a SELECT: {sql!r}")
+        return result
+
+    def _plan(self, select: Select, cache_key: str | None) -> SelectPlan:
+        if cache_key is not None and cache_key in self._plan_cache:
+            return self._plan_cache[cache_key]
+        plan = SelectPlan(select, self.tables)
+        if cache_key is not None:
+            self._plan_cache[cache_key] = plan
+        return plan
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN-style plan text for a SELECT (debugging aid for the
+        §6 descriptor-query tuning workflow)."""
+        return self.prepare(sql).explain()
+
+    def prepare(self, sql: str) -> SelectPlan:
+        """Compile a SELECT once for repeated execution (generic services)."""
+        statement = parse_sql(sql)
+        if not isinstance(statement, Select):
+            raise QueryError(f"prepare() only accepts SELECT: {sql!r}")
+        return self._plan(statement, sql)
+
+    # -- DML -----------------------------------------------------------------------
+
+    def insert_row(self, table: str, values: dict) -> dict:
+        """Insert one row given a column→value mapping; returns the stored
+        row (with auto-increment/default values filled in)."""
+        store = self.table(table)
+        row = store.prepare_row(values)
+        self._check_foreign_keys_outgoing(store, row)
+        row_id = store.insert_prepared(row)
+        self._record("insert", table, row_id)
+        self.stats.inserts += 1
+        self.stats.record_write(table)
+        auto = next(
+            (c.name for c in store.schema.columns if c.auto_increment), None
+        )
+        self.last_insert_id = row[auto] if auto else None
+        return dict(row)
+
+    def insert_rows(self, table: str, rows: list[dict]) -> int:
+        for values in rows:
+            self.insert_row(table, values)
+        return len(rows)
+
+    def _execute_insert(self, statement: Insert, params: dict) -> int:
+        scope = RowScope({}, {})
+        count = 0
+        for value_exprs in statement.rows:
+            values = {
+                column: expr.evaluate(scope, params)
+                for column, expr in zip(statement.columns, value_exprs)
+            }
+            self.insert_row(statement.table, values)
+            count += 1
+        return count
+
+    def _match_rows(self, store: TableStore, where, params: dict) -> list[int]:
+        columns = {store.schema.name: store.schema.column_names}
+        matches = []
+        for row_id, row in list(store.rows.items()):
+            scope = RowScope({store.schema.name: row}, columns)
+            if where is None or where.evaluate(scope, params) is True:
+                matches.append(row_id)
+        return matches
+
+    def _execute_update(self, statement: Update, params: dict) -> int:
+        store = self.table(statement.table)
+        columns = {store.schema.name: store.schema.column_names}
+        row_ids = self._match_rows(store, statement.where, params)
+        for row_id in row_ids:
+            row = store.rows[row_id]
+            scope = RowScope({store.schema.name: row}, columns)
+            changes = {
+                column: expr.evaluate(scope, params)
+                for column, expr in statement.assignments
+            }
+            old = dict(row)
+            new = store.update_row(row_id, changes)
+            try:
+                self._check_foreign_keys_outgoing(store, new)
+                self._check_referencing_after_update(store, old, new)
+            except IntegrityError:
+                store.force_row(row_id, old)  # roll the row back
+                raise
+            self._record("update", statement.table, row_id, old)
+            self.stats.record_write(statement.table)
+        self.stats.updates += 1
+        return len(row_ids)
+
+    def _execute_delete(self, statement: Delete, params: dict) -> int:
+        store = self.table(statement.table)
+        row_ids = self._match_rows(store, statement.where, params)
+        for row_id in row_ids:
+            if row_id in store.rows:  # cascades may have removed it already
+                self._delete_with_actions(statement.table, row_id)
+        self.stats.deletes += 1
+        return len(row_ids)
+
+    def delete_where(self, table: str, where_sql_row_filter=None) -> int:
+        """Programmatic delete helper used by tests/seeders."""
+        store = self.table(table)
+        row_ids = [
+            rid for rid, row in list(store.rows.items())
+            if where_sql_row_filter is None or where_sql_row_filter(row)
+        ]
+        for row_id in row_ids:
+            if row_id in store.rows:
+                self._delete_with_actions(table, row_id)
+        return len(row_ids)
+
+    def _delete_with_actions(self, table: str, row_id: int) -> None:
+        store = self.table(table)
+        row = store.rows[row_id]
+        for other_name, other in list(self.tables.items()):
+            for fkey in other.schema.foreign_keys:
+                if fkey.target_table != table:
+                    continue
+                key = tuple(row[c] for c in fkey.target_columns)
+                if any(v is None for v in key):
+                    continue
+                referencing = other.find_by_key(fkey.columns, key)
+                if not referencing:
+                    continue
+                if fkey.on_delete == "restrict":
+                    raise IntegrityError(
+                        f"cannot delete from {table!r}: row referenced by "
+                        f"{other_name}({', '.join(fkey.columns)})"
+                    )
+                if fkey.on_delete == "cascade":
+                    for ref_id in referencing:
+                        if ref_id in other.rows:
+                            self._delete_with_actions(other_name, ref_id)
+                else:  # set_null
+                    for ref_id in referencing:
+                        if ref_id in other.rows:
+                            previous = dict(other.rows[ref_id])
+                            other.update_row(
+                                ref_id, {c: None for c in fkey.columns}
+                            )
+                            self._record("update", other_name, ref_id,
+                                         previous)
+                            self.stats.record_write(other_name)
+        self._record("delete", table, row_id, dict(row))
+        store.delete_row(row_id)
+        self.stats.record_write(table)
+
+    # -- foreign keys ---------------------------------------------------------------
+
+    def _check_foreign_keys_outgoing(self, store: TableStore, row: dict) -> None:
+        for fkey in store.schema.foreign_keys:
+            key = tuple(row[c] for c in fkey.columns)
+            if any(v is None for v in key):
+                continue  # NULL FK components opt out (SQL MATCH SIMPLE)
+            target = self.table(fkey.target_table)
+            if not target.find_by_key(fkey.target_columns, key):
+                raise IntegrityError(
+                    f"foreign key violation: {store.schema.name}"
+                    f"({', '.join(fkey.columns)})={key!r} has no match in "
+                    f"{fkey.target_table}({', '.join(fkey.target_columns)})"
+                )
+
+    def _check_referencing_after_update(
+        self, store: TableStore, old: dict, new: dict
+    ) -> None:
+        """Reject updates that orphan rows referencing the old key values."""
+        table = store.schema.name
+        for other_name, other in self.tables.items():
+            for fkey in other.schema.foreign_keys:
+                if fkey.target_table != table:
+                    continue
+                old_key = tuple(old[c] for c in fkey.target_columns)
+                new_key = tuple(new[c] for c in fkey.target_columns)
+                if old_key == new_key or any(v is None for v in old_key):
+                    continue
+                # The old key may still be provided by another row.
+                if store.find_by_key(fkey.target_columns, old_key):
+                    continue
+                if other.find_by_key(fkey.columns, old_key):
+                    raise IntegrityError(
+                        f"cannot update {table!r}: old key {old_key!r} still "
+                        f"referenced by {other_name!r}"
+                    )
+
+    # -- convenience -------------------------------------------------------------------
+
+    def row_count(self, table: str) -> int:
+        return len(self.table(table))
+
+    def table_names(self) -> list[str]:
+        return sorted(self.tables)

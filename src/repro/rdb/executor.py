@@ -1,0 +1,389 @@
+"""Query execution operators.
+
+A plan is a tree of operators, each yielding *binding maps*: dicts from
+table binding (alias or table name) to a stored row dict, or ``None``
+for the null-padded side of a LEFT JOIN.  :class:`RowScope` adapts a
+binding map to the expression layer's ``lookup`` protocol.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.rdb.expr import (
+    AggregateCall,
+    ColumnRef,
+    Expr,
+    Literal,
+    compare_values,
+)
+from repro.rdb.storage import TableStore
+
+Bindings = dict[str, dict | None]
+
+
+class RowScope:
+    """Expression scope over one binding map.
+
+    ``columns_by_binding`` gives each binding's column names so that an
+    unqualified column can be resolved (and ambiguity detected) even for
+    null-padded LEFT JOIN rows.
+    """
+
+    def __init__(self, bindings: Bindings, columns_by_binding: dict[str, list[str]]):
+        self.bindings = bindings
+        self.columns_by_binding = columns_by_binding
+
+    def lookup(self, table: str | None, column: str):
+        if table is not None:
+            if table not in self.columns_by_binding:
+                raise QueryError(f"unknown table or alias {table!r}")
+            if column not in self.columns_by_binding[table]:
+                raise QueryError(f"no column {column!r} in {table!r}")
+            row = self.bindings.get(table)
+            return None if row is None else row[column]
+        owners = [
+            binding
+            for binding, columns in self.columns_by_binding.items()
+            if column in columns
+        ]
+        if not owners:
+            raise QueryError(f"unknown column {column!r}")
+        if len(owners) > 1:
+            raise QueryError(
+                f"ambiguous column {column!r} (in {', '.join(sorted(owners))})"
+            )
+        row = self.bindings.get(owners[0])
+        return None if row is None else row[column]
+
+
+class Operator:
+    """Base plan operator."""
+
+    def rows(self, params: dict) -> Iterator[Bindings]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line EXPLAIN label for this operator."""
+        return type(self).__name__
+
+    def children(self) -> list["Operator"]:
+        return []
+
+
+class ScanOp(Operator):
+    """Full scan or, when ``eq_columns`` is set, an index-assisted
+    equality lookup (``eq_exprs`` are evaluated once per query)."""
+
+    def __init__(
+        self,
+        store: TableStore,
+        binding: str,
+        eq_columns: tuple[str, ...] = (),
+        eq_exprs: tuple[Expr, ...] = (),
+    ):
+        self.store = store
+        self.binding = binding
+        self.eq_columns = eq_columns
+        self.eq_exprs = eq_exprs
+
+    def describe(self) -> str:
+        if self.eq_columns:
+            keys = ", ".join(self.eq_columns)
+            return (f"IndexLookup({self.store.schema.name} AS {self.binding} "
+                    f"ON {keys})")
+        return f"SeqScan({self.store.schema.name} AS {self.binding})"
+
+    def rows(self, params: dict) -> Iterator[Bindings]:
+        if self.eq_columns:
+            empty_scope = RowScope({}, {})
+            key = tuple(expr.evaluate(empty_scope, params) for expr in self.eq_exprs)
+            if any(v is None for v in key):
+                return  # NULL never equals anything
+            for row_id in self.store.find_by_key(self.eq_columns, key):
+                yield {self.binding: self.store.rows[row_id]}
+            return
+        # Iterate over a snapshot of ids so DML during iteration is safe.
+        for row_id in list(self.store.rows):
+            row = self.store.rows.get(row_id)
+            if row is not None:
+                yield {self.binding: row}
+
+
+class FilterOp(Operator):
+    def __init__(self, child: Operator, predicate: Expr,
+                 columns_by_binding: dict[str, list[str]]):
+        self.child = child
+        self.predicate = predicate
+        self.columns_by_binding = columns_by_binding
+
+    def describe(self) -> str:
+        return "Filter"
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def rows(self, params: dict) -> Iterator[Bindings]:
+        for bindings in self.child.rows(params):
+            scope = RowScope(bindings, self.columns_by_binding)
+            if self.predicate.evaluate(scope, params) is True:
+                yield bindings
+
+
+class NestedLoopJoinOp(Operator):
+    """Fallback join for non-equi ON conditions."""
+
+    def __init__(
+        self,
+        left: Operator,
+        store: TableStore,
+        binding: str,
+        condition: Expr,
+        kind: str,
+        columns_by_binding: dict[str, list[str]],
+    ):
+        self.left = left
+        self.store = store
+        self.binding = binding
+        self.condition = condition
+        self.kind = kind
+        self.columns_by_binding = columns_by_binding
+
+    def describe(self) -> str:
+        return (f"NestedLoopJoin({self.kind} {self.store.schema.name} "
+                f"AS {self.binding})")
+
+    def children(self) -> list[Operator]:
+        return [self.left]
+
+    def rows(self, params: dict) -> Iterator[Bindings]:
+        right_rows = list(self.store.rows.values())
+        for bindings in self.left.rows(params):
+            matched = False
+            for row in right_rows:
+                candidate = dict(bindings)
+                candidate[self.binding] = row
+                scope = RowScope(candidate, self.columns_by_binding)
+                if self.condition.evaluate(scope, params) is True:
+                    matched = True
+                    yield candidate
+            if not matched and self.kind == "left":
+                padded = dict(bindings)
+                padded[self.binding] = None
+                yield padded
+
+
+class HashJoinOp(Operator):
+    """Equi-join: build a hash table on the new table's key columns and
+    probe with each incoming binding map.  ``residual`` carries any extra
+    non-equi conjuncts of the ON condition."""
+
+    def __init__(
+        self,
+        left: Operator,
+        store: TableStore,
+        binding: str,
+        probe_exprs: tuple[Expr, ...],   # evaluated against incoming bindings
+        build_columns: tuple[str, ...],  # columns of the new table
+        residual: Expr | None,
+        kind: str,
+        columns_by_binding: dict[str, list[str]],
+    ):
+        self.left = left
+        self.store = store
+        self.binding = binding
+        self.probe_exprs = probe_exprs
+        self.build_columns = build_columns
+        self.residual = residual
+        self.kind = kind
+        self.columns_by_binding = columns_by_binding
+
+    def describe(self) -> str:
+        keys = ", ".join(self.build_columns)
+        return (f"HashJoin({self.kind} {self.store.schema.name} "
+                f"AS {self.binding} ON {keys})")
+
+    def children(self) -> list[Operator]:
+        return [self.left]
+
+    def rows(self, params: dict) -> Iterator[Bindings]:
+        table: dict[tuple, list[dict]] = {}
+        for row in self.store.rows.values():
+            key = tuple(row[c] for c in self.build_columns)
+            if any(v is None for v in key):
+                continue
+            table.setdefault(key, []).append(row)
+        for bindings in self.left.rows(params):
+            scope = RowScope(bindings, self.columns_by_binding)
+            key = tuple(expr.evaluate(scope, params) for expr in self.probe_exprs)
+            matched = False
+            if not any(v is None for v in key):
+                for row in table.get(key, ()):
+                    candidate = dict(bindings)
+                    candidate[self.binding] = row
+                    if self.residual is not None:
+                        residual_scope = RowScope(candidate, self.columns_by_binding)
+                        if self.residual.evaluate(residual_scope, params) is not True:
+                            continue
+                    matched = True
+                    yield candidate
+            if not matched and self.kind == "left":
+                padded = dict(bindings)
+                padded[self.binding] = None
+                yield padded
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+def collect_aggregates(expr: Expr | None) -> list[AggregateCall]:
+    """All AggregateCall nodes in ``expr`` (document order, with dups)."""
+    if expr is None:
+        return []
+    found: list[AggregateCall] = []
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, AggregateCall):
+            found.append(node)
+            return
+        for attr in ("left", "right", "operand", "pattern", "low", "high",
+                     "argument"):
+            child = getattr(node, attr, None)
+            if isinstance(child, Expr):
+                walk(child)
+        for attr in ("args", "options"):
+            children = getattr(node, attr, None)
+            if children:
+                for child in children:
+                    walk(child)
+
+    walk(expr)
+    return found
+
+
+def substitute_aggregates(expr: Expr, values: dict[AggregateCall, object]) -> Expr:
+    """Rebuild ``expr`` with every AggregateCall replaced by its computed
+    value (as a Literal)."""
+    if isinstance(expr, AggregateCall):
+        return Literal(values[expr])
+    replacements = {}
+    for attr in ("left", "right", "operand", "pattern", "low", "high", "argument"):
+        child = getattr(expr, attr, None)
+        if isinstance(child, Expr):
+            replacements[attr] = substitute_aggregates(child, values)
+    for attr in ("args", "options"):
+        children = getattr(expr, attr, None)
+        if children:
+            replacements[attr] = tuple(
+                substitute_aggregates(c, values) for c in children
+            )
+    if not replacements:
+        return expr
+    return dataclass_replace(expr, **replacements)
+
+
+def dataclass_replace(node, **changes):
+    import dataclasses
+
+    return dataclasses.replace(node, **changes)
+
+
+def compute_aggregate(
+    call: AggregateCall,
+    group: list[Bindings],
+    columns_by_binding: dict[str, list[str]],
+    params: dict,
+):
+    if call.argument is None:  # COUNT(*)
+        return len(group)
+    values = []
+    for bindings in group:
+        value = call.argument.evaluate(
+            RowScope(bindings, columns_by_binding), params
+        )
+        if value is not None:
+            values.append(value)
+    if call.distinct:
+        seen = []
+        for value in values:
+            if not any(compare_values(value, s) == 0 for s in seen):
+                seen.append(value)
+        values = seen
+    func = call.func
+    if func == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if func == "SUM":
+        return functools.reduce(lambda a, b: a + b, values)
+    if func == "AVG":
+        return functools.reduce(lambda a, b: a + b, values) / len(values)
+    if func == "MIN":
+        return min(values)
+    if func == "MAX":
+        return max(values)
+    raise QueryError(f"unknown aggregate {func!r}")
+
+
+# ---------------------------------------------------------------------------
+# Sorting helpers
+# ---------------------------------------------------------------------------
+
+
+@functools.total_ordering
+class SortKey:
+    """Comparable wrapper implementing SQL NULLS FIRST ordering."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        sign = self._compare(other)
+        return sign == 0
+
+    def __lt__(self, other):
+        return self._compare(other) < 0
+
+    def _compare(self, other: "SortKey") -> int:
+        if self.value is None and other.value is None:
+            return 0
+        if self.value is None:
+            return -1
+        if other.value is None:
+            return 1
+        sign = compare_values(self.value, other.value)
+        assert sign is not None
+        return sign
+
+
+@dataclass
+class ResultSet:
+    """Materialized query result: ordered column names + dict rows."""
+
+    columns: list[str]
+    rows: list[dict]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def first(self) -> dict | None:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self):
+        """The single value of a one-column result's first row."""
+        if not self.rows:
+            return None
+        return self.rows[0][self.columns[0]]
+
+    def as_tuples(self) -> list[tuple]:
+        return [tuple(row[c] for c in self.columns) for row in self.rows]

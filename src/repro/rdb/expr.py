@@ -1,0 +1,478 @@
+"""SQL expression AST and evaluation.
+
+Expressions evaluate against a *scope* (anything with a
+``lookup(table, column)`` method) plus a parameter mapping.  SQL's
+three-valued logic is honoured: ``None`` is NULL/UNKNOWN, comparisons
+with NULL yield UNKNOWN, and WHERE keeps a row only when its predicate
+is strictly True.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+
+class Expr:
+    """Base expression node."""
+
+    def evaluate(self, scope, params):
+        raise NotImplementedError
+
+    def column_refs(self) -> list["ColumnRef"]:
+        """All column references in this subtree (for planning)."""
+        return []
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object
+
+    def evaluate(self, scope, params):
+        return self.value
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly table-qualified column reference."""
+
+    table: str | None
+    column: str
+
+    def evaluate(self, scope, params):
+        return scope.lookup(self.table, self.column)
+
+    def column_refs(self) -> list["ColumnRef"]:
+        return [self]
+
+    @property
+    def display(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A named ``:name`` or positional ``?`` parameter placeholder."""
+
+    name: str  # positional placeholders are named "1", "2", ...
+
+    def evaluate(self, scope, params):
+        if self.name not in params:
+            raise QueryError(f"missing query parameter {self.name!r}")
+        return params[self.name]
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expr):
+    op: str  # + - * / %
+    left: Expr
+    right: Expr
+
+    def evaluate(self, scope, params):
+        lhs = self.left.evaluate(scope, params)
+        rhs = self.right.evaluate(scope, params)
+        if lhs is None or rhs is None:
+            return None
+        if self.op == "+" and isinstance(lhs, str) and isinstance(rhs, str):
+            return lhs + rhs
+        if not (_is_number(lhs) and _is_number(rhs)):
+            raise QueryError(
+                f"arithmetic {self.op!r} needs numbers, got {lhs!r} and {rhs!r}"
+            )
+        if self.op == "+":
+            return lhs + rhs
+        if self.op == "-":
+            return lhs - rhs
+        if self.op == "*":
+            return lhs * rhs
+        if self.op == "/":
+            if rhs == 0:
+                raise QueryError("division by zero")
+            result = lhs / rhs
+            # Integer division stays integral when exact, matching the
+            # engine's INTEGER/FLOAT split.
+            if isinstance(lhs, int) and isinstance(rhs, int) and result == int(result):
+                return int(result)
+            return result
+        if self.op == "%":
+            if rhs == 0:
+                raise QueryError("modulo by zero")
+            return lhs % rhs
+        raise QueryError(f"unknown arithmetic operator {self.op!r}")
+
+    def column_refs(self):
+        return self.left.column_refs() + self.right.column_refs()
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    """SQL ``||`` string concatenation."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, scope, params):
+        lhs = self.left.evaluate(scope, params)
+        rhs = self.right.evaluate(scope, params)
+        if lhs is None or rhs is None:
+            return None
+        return _as_text(lhs) + _as_text(rhs)
+
+    def column_refs(self):
+        return self.left.column_refs() + self.right.column_refs()
+
+
+def _as_text(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return value if isinstance(value, str) else str(value)
+
+
+def compare_values(lhs, rhs) -> int | None:
+    """SQL comparison: None means UNKNOWN (a NULL operand).
+
+    Mixed numeric types compare numerically; otherwise operands must be
+    mutually comparable Python values.
+    """
+    if lhs is None or rhs is None:
+        return None
+    if isinstance(lhs, bool) or isinstance(rhs, bool):
+        if isinstance(lhs, bool) and isinstance(rhs, bool):
+            return (lhs > rhs) - (lhs < rhs)
+        raise QueryError(f"cannot compare {lhs!r} with {rhs!r}")
+    if _is_number(lhs) and _is_number(rhs):
+        return (lhs > rhs) - (lhs < rhs)
+    if type(lhs) is not type(rhs):
+        raise QueryError(f"cannot compare {lhs!r} with {rhs!r}")
+    return (lhs > rhs) - (lhs < rhs)
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    op: str  # = <> < <= > >=
+    left: Expr
+    right: Expr
+
+    def evaluate(self, scope, params):
+        sign = compare_values(
+            self.left.evaluate(scope, params), self.right.evaluate(scope, params)
+        )
+        if sign is None:
+            return None
+        if self.op == "=":
+            return sign == 0
+        if self.op == "<>":
+            return sign != 0
+        if self.op == "<":
+            return sign < 0
+        if self.op == "<=":
+            return sign <= 0
+        if self.op == ">":
+            return sign > 0
+        if self.op == ">=":
+            return sign >= 0
+        raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def column_refs(self):
+        return self.left.column_refs() + self.right.column_refs()
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    left: Expr
+    right: Expr
+
+    def evaluate(self, scope, params):
+        lhs = self.left.evaluate(scope, params)
+        if lhs is False:
+            return False
+        rhs = self.right.evaluate(scope, params)
+        if rhs is False:
+            return False
+        if lhs is None or rhs is None:
+            return None
+        return True
+
+    def column_refs(self):
+        return self.left.column_refs() + self.right.column_refs()
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    left: Expr
+    right: Expr
+
+    def evaluate(self, scope, params):
+        lhs = self.left.evaluate(scope, params)
+        if lhs is True:
+            return True
+        rhs = self.right.evaluate(scope, params)
+        if rhs is True:
+            return True
+        if lhs is None or rhs is None:
+            return None
+        return False
+
+    def column_refs(self):
+        return self.left.column_refs() + self.right.column_refs()
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def evaluate(self, scope, params):
+        value = self.operand.evaluate(scope, params)
+        if value is None:
+            return None
+        return not value
+
+    def column_refs(self):
+        return self.operand.column_refs()
+
+
+@dataclass(frozen=True)
+class Negate(Expr):
+    operand: Expr
+
+    def evaluate(self, scope, params):
+        value = self.operand.evaluate(scope, params)
+        if value is None:
+            return None
+        if not _is_number(value):
+            raise QueryError(f"cannot negate {value!r}")
+        return -value
+
+    def column_refs(self):
+        return self.operand.column_refs()
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def evaluate(self, scope, params):
+        value = self.operand.evaluate(scope, params)
+        result = value is None
+        return not result if self.negated else result
+
+    def column_refs(self):
+        return self.operand.column_refs()
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    options: tuple[Expr, ...]
+    negated: bool = False
+
+    def evaluate(self, scope, params):
+        value = self.operand.evaluate(scope, params)
+        if value is None:
+            return None
+        saw_null = False
+        for option in self.options:
+            candidate = option.evaluate(scope, params)
+            if candidate is None:
+                saw_null = True
+                continue
+            if compare_values(value, candidate) == 0:
+                return not self.negated
+        if saw_null:
+            return None
+        return self.negated
+
+    def column_refs(self):
+        refs = self.operand.column_refs()
+        for option in self.options:
+            refs += option.column_refs()
+        return refs
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """SQL LIKE with ``%`` and ``_`` wildcards (case-sensitive)."""
+
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def evaluate(self, scope, params):
+        value = self.operand.evaluate(scope, params)
+        pattern = self.pattern.evaluate(scope, params)
+        if value is None or pattern is None:
+            return None
+        regex = _like_to_regex(str(pattern))
+        matched = regex.match(str(value)) is not None
+        return not matched if self.negated else matched
+
+    def column_refs(self):
+        return self.operand.column_refs() + self.pattern.column_refs()
+
+
+def _like_to_regex(pattern: str) -> re.Pattern:
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def evaluate(self, scope, params):
+        value = self.operand.evaluate(scope, params)
+        low_sign = compare_values(value, self.low.evaluate(scope, params))
+        high_sign = compare_values(value, self.high.evaluate(scope, params))
+        if low_sign is None or high_sign is None:
+            return None
+        inside = low_sign >= 0 and high_sign <= 0
+        return not inside if self.negated else inside
+
+    def column_refs(self):
+        return (
+            self.operand.column_refs()
+            + self.low.column_refs()
+            + self.high.column_refs()
+        )
+
+
+_SCALAR_FUNCTIONS = {}
+
+
+def _scalar(name):
+    def register(func):
+        _SCALAR_FUNCTIONS[name] = func
+        return func
+    return register
+
+
+@_scalar("UPPER")
+def _fn_upper(args):
+    (value,) = args
+    return None if value is None else str(value).upper()
+
+
+@_scalar("LOWER")
+def _fn_lower(args):
+    (value,) = args
+    return None if value is None else str(value).lower()
+
+
+@_scalar("LENGTH")
+def _fn_length(args):
+    (value,) = args
+    return None if value is None else len(str(value))
+
+
+@_scalar("ABS")
+def _fn_abs(args):
+    (value,) = args
+    if value is None:
+        return None
+    if not _is_number(value):
+        raise QueryError(f"ABS needs a number, got {value!r}")
+    return abs(value)
+
+
+@_scalar("ROUND")
+def _fn_round(args):
+    if len(args) not in (1, 2):
+        raise QueryError("ROUND takes one or two arguments")
+    value = args[0]
+    if value is None:
+        return None
+    digits = args[1] if len(args) == 2 else 0
+    return round(value, int(digits))
+
+
+@_scalar("COALESCE")
+def _fn_coalesce(args):
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+@_scalar("CONCAT")
+def _fn_concat(args):
+    return "".join(_as_text(a) for a in args if a is not None)
+
+
+@_scalar("SUBSTR")
+def _fn_substr(args):
+    if len(args) not in (2, 3):
+        raise QueryError("SUBSTR takes two or three arguments")
+    value = args[0]
+    if value is None:
+        return None
+    text = str(value)
+    start = int(args[1]) - 1  # SQL is 1-based
+    if start < 0:
+        start = 0
+    if len(args) == 3:
+        return text[start : start + int(args[2])]
+    return text[start:]
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    name: str
+    args: tuple[Expr, ...]
+
+    def evaluate(self, scope, params):
+        func = _SCALAR_FUNCTIONS.get(self.name.upper())
+        if func is None:
+            raise QueryError(f"unknown function {self.name!r}")
+        values = [arg.evaluate(scope, params) for arg in self.args]
+        if self.name.upper() not in ("COALESCE", "CONCAT", "ROUND", "SUBSTR"):
+            if len(values) != 1:
+                raise QueryError(f"{self.name} takes exactly one argument")
+        return func(values)
+
+    def column_refs(self):
+        refs: list[ColumnRef] = []
+        for arg in self.args:
+            refs += arg.column_refs()
+        return refs
+
+
+AGGREGATE_NAMES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expr):
+    """``COUNT(*)``, ``SUM(expr)``... — only valid in SELECT/HAVING.
+
+    Evaluation happens in the executor's grouping operator; evaluating an
+    aggregate as a plain scalar is an error the planner reports earlier,
+    but guard here too.
+    """
+
+    func: str
+    argument: Expr | None  # None means COUNT(*)
+    distinct: bool = False
+
+    def evaluate(self, scope, params):
+        raise QueryError(
+            f"aggregate {self.func} used outside SELECT/HAVING of a grouped query"
+        )
+
+    def column_refs(self):
+        return [] if self.argument is None else self.argument.column_refs()

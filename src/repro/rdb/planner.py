@@ -1,0 +1,405 @@
+"""SELECT planning and evaluation.
+
+:class:`SelectPlan` compiles a parsed SELECT into an operator tree once;
+``execute(params)`` then runs it against current table contents.  Plans
+are reusable across requests — the generic unit services compile each
+descriptor's query a single time and re-execute it per request.
+
+Planning heuristics (deliberately simple but real):
+
+- single-table equality predicates on an indexed column (or primary key)
+  become index-assisted scans,
+- joins whose ON contains equi-conditions between the new table and the
+  tables already joined become hash joins; anything else falls back to a
+  nested loop,
+- the full WHERE is re-applied after the joins (re-checking a consumed
+  equality is cheap and keeps the planner honest).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import QueryError
+from repro.rdb.executor import (
+    Bindings,
+    FilterOp,
+    HashJoinOp,
+    NestedLoopJoinOp,
+    Operator,
+    ResultSet,
+    RowScope,
+    ScanOp,
+    SortKey,
+    collect_aggregates,
+    compute_aggregate,
+    substitute_aggregates,
+)
+from repro.rdb.expr import AggregateCall, And, ColumnRef, Comparison, Expr
+from repro.rdb.sqlparser import Select
+from repro.rdb.storage import TableStore
+from repro.util import unique_name
+
+
+def _conjuncts(expr: Expr | None) -> list[Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _and_all(parts: list[Expr]) -> Expr | None:
+    if not parts:
+        return None
+    combined = parts[0]
+    for part in parts[1:]:
+        combined = And(combined, part)
+    return combined
+
+
+class SelectPlan:
+    def __init__(self, select: Select, stores: Mapping[str, TableStore]):
+        self.select = select
+        self.stores = stores
+        self.columns_by_binding: dict[str, list[str]] = {}
+        self._binding_order: list[str] = []
+        self._register_binding(select.source.binding, select.source.table)
+        for join in select.joins:
+            self._register_binding(join.table.binding, join.table.table)
+        self.root = self._build_tree()
+        self.output_columns, self._projection = self._build_projection()
+
+    def _store(self, table: str) -> TableStore:
+        if table not in self.stores:
+            raise QueryError(f"unknown table {table!r}")
+        return self.stores[table]
+
+    def _register_binding(self, binding: str, table: str) -> None:
+        if binding in self.columns_by_binding:
+            raise QueryError(f"duplicate table binding {binding!r}")
+        store = self._store(table)
+        self.columns_by_binding[binding] = list(store.schema.column_names)
+        self._binding_order.append(binding)
+
+    # -- operator tree -------------------------------------------------------
+
+    def _build_tree(self) -> Operator:
+        select = self.select
+        source_binding = select.source.binding
+        source_store = self._store(select.source.table)
+
+        eq_columns: list[str] = []
+        eq_exprs: list[Expr] = []
+        if not select.joins:
+            for conjunct in _conjuncts(select.where):
+                pair = self._constant_equality(conjunct, source_binding, source_store)
+                if pair is not None:
+                    eq_columns.append(pair[0])
+                    eq_exprs.append(pair[1])
+        # Only use the lookup path when an index matches exactly; otherwise
+        # find_by_key would scan anyway and the filter below suffices.
+        root: Operator
+        use_lookup: tuple[str, ...] = ()
+        for width in range(len(eq_columns), 0, -1):
+            candidate = tuple(eq_columns[:width])
+            if source_store.index_on(candidate) is not None:
+                use_lookup = candidate
+                break
+        if use_lookup:
+            root = ScanOp(
+                source_store,
+                source_binding,
+                eq_columns=use_lookup,
+                eq_exprs=tuple(eq_exprs[: len(use_lookup)]),
+            )
+        else:
+            root = ScanOp(source_store, source_binding)
+
+        joined = {source_binding}
+        for join in select.joins:
+            store = self._store(join.table.table)
+            binding = join.table.binding
+            probe_exprs: list[Expr] = []
+            build_columns: list[str] = []
+            residual: list[Expr] = []
+            for conjunct in _conjuncts(join.condition):
+                pair = self._equi_condition(conjunct, binding, joined)
+                if pair is not None:
+                    probe_exprs.append(pair[0])
+                    build_columns.append(pair[1])
+                else:
+                    residual.append(conjunct)
+            if probe_exprs:
+                root = HashJoinOp(
+                    root,
+                    store,
+                    binding,
+                    tuple(probe_exprs),
+                    tuple(build_columns),
+                    _and_all(residual),
+                    join.kind,
+                    self.columns_by_binding,
+                )
+            else:
+                root = NestedLoopJoinOp(
+                    root, store, binding, join.condition, join.kind,
+                    self.columns_by_binding,
+                )
+            joined.add(binding)
+
+        if select.where is not None:
+            root = FilterOp(root, select.where, self.columns_by_binding)
+        return root
+
+    def _constant_equality(
+        self, conjunct: Expr, binding: str, store: TableStore
+    ) -> tuple[str, Expr] | None:
+        """Match ``binding.col = <constant expr>`` (either side)."""
+        if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+            return None
+        for col_side, const_side in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            if not isinstance(col_side, ColumnRef):
+                continue
+            if col_side.table not in (None, binding):
+                continue
+            if not store.schema.has_column(col_side.column):
+                continue
+            if const_side.column_refs():
+                continue
+            return col_side.column, const_side
+        return None
+
+    def _equi_condition(
+        self, conjunct: Expr, new_binding: str, joined: set[str]
+    ) -> tuple[Expr, str] | None:
+        """Match ``new.col = old.col`` and return (probe expr, build column)."""
+        if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+            return None
+        left, right = conjunct.left, conjunct.right
+        if not (isinstance(left, ColumnRef) and isinstance(right, ColumnRef)):
+            return None
+        if left.table is None or right.table is None:
+            return None
+        if left.table == new_binding and right.table in joined:
+            return right, left.column
+        if right.table == new_binding and left.table in joined:
+            return left, right.column
+        return None
+
+    # -- projection -----------------------------------------------------------
+
+    def _build_projection(self) -> tuple[list[str], list[tuple[str, Expr | None, str | None]]]:
+        """Returns output column names plus per-item evaluation specs.
+
+        Each spec is ``(output_name, expr, star_binding_column)``:
+        exactly one of ``expr`` / star source is set.
+        """
+        names: list[str] = []
+        specs: list[tuple[str, Expr | None, tuple[str, str] | None]] = []
+        taken: set[str] = set()
+
+        def claim(base: str) -> str:
+            return unique_name(base, taken)
+
+        for position, item in enumerate(self.select.items):
+            if item.is_star:
+                bindings = (
+                    [item.star_table] if item.star_table else self._binding_order
+                )
+                for binding in bindings:
+                    if binding not in self.columns_by_binding:
+                        raise QueryError(f"unknown table or alias {binding!r}")
+                    for column in self.columns_by_binding[binding]:
+                        name = claim(
+                            column if column not in taken else f"{binding}.{column}"
+                        )
+                        specs.append((name, None, (binding, column)))
+                        names.append(name)
+                continue
+            if item.alias:
+                base = item.alias
+            elif isinstance(item.expr, ColumnRef):
+                base = item.expr.column
+            else:
+                base = f"col{position + 1}"
+            name = claim(base)
+            specs.append((name, item.expr, None))
+            names.append(name)
+        return names, specs
+
+    # -- EXPLAIN ---------------------------------------------------------------
+
+    def explain(self) -> str:
+        """A textual plan tree: the executor's post-processing steps
+        (limit/sort/distinct/grouping) wrap the operator tree, which is
+        printed root-first with children indented below."""
+        select = self.select
+        lines: list[str] = []
+        post = []
+        if select.limit is not None or select.offset:
+            post.append(f"Limit(limit={select.limit}, offset={select.offset})")
+        if select.order_by:
+            post.append(f"Sort({len(select.order_by)} keys)")
+        if select.distinct:
+            post.append("Distinct")
+        if select.group_by or self._has_aggregates():
+            post.append("GroupAggregate")
+        for depth, label in enumerate(post):
+            lines.append("  " * depth + label)
+        self._explain_node(self.root, len(post), lines)
+        return "\n".join(lines)
+
+    def _explain_node(self, node, depth: int, lines: list[str]) -> None:
+        lines.append("  " * depth + node.describe())
+        for child in node.children():
+            self._explain_node(child, depth + 1, lines)
+
+    def _has_aggregates(self) -> bool:
+        if collect_aggregates(self.select.having):
+            return True
+        return any(
+            collect_aggregates(item.expr)
+            for item in self.select.items
+            if item.expr is not None
+        )
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(self, params: dict | None = None) -> ResultSet:
+        params = dict(params or {})
+        select = self.select
+
+        has_aggregates = any(
+            collect_aggregates(item.expr)
+            for item in select.items
+            if item.expr is not None
+        ) or collect_aggregates(select.having)
+        if select.group_by or has_aggregates:
+            produced = self._execute_grouped(params)
+        else:
+            produced = self._execute_plain(params)
+
+        rows_with_keys = list(produced)
+
+        if select.distinct:
+            seen: set[tuple] = set()
+            unique_rows = []
+            for row, keys in rows_with_keys:
+                fingerprint = tuple(row[c] for c in self.output_columns)
+                try:
+                    new = fingerprint not in seen
+                    if new:
+                        seen.add(fingerprint)
+                except TypeError:  # unhashable value; fall back to linear scan
+                    new = all(
+                        fingerprint != tuple(r[c] for c in self.output_columns)
+                        for r, _ in unique_rows
+                    )
+                if new:
+                    unique_rows.append((row, keys))
+            rows_with_keys = unique_rows
+
+        for index in range(len(select.order_by) - 1, -1, -1):
+            descending = select.order_by[index].descending
+            rows_with_keys.sort(
+                key=lambda pair, i=index: SortKey(pair[1][i]), reverse=descending
+            )
+
+        if select.offset:
+            rows_with_keys = rows_with_keys[select.offset:]
+        if select.limit is not None:
+            rows_with_keys = rows_with_keys[: select.limit]
+        return ResultSet(list(self.output_columns), [row for row, _ in rows_with_keys])
+
+    def _order_keys(
+        self, scope: RowScope, out_row: dict, params: dict,
+        aggregate_values: dict | None = None,
+    ) -> list:
+        keys = []
+        for item in self.select.order_by:
+            expr = item.expr
+            if aggregate_values is not None and collect_aggregates(expr):
+                expr = substitute_aggregates(expr, aggregate_values)
+            try:
+                keys.append(expr.evaluate(scope, params))
+            except QueryError:
+                # ORDER BY may name a projected alias not visible in scope.
+                if isinstance(expr, ColumnRef) and expr.table is None \
+                        and expr.column in out_row:
+                    keys.append(out_row[expr.column])
+                else:
+                    raise
+        return keys
+
+    def _project_row(self, scope: RowScope, bindings: Bindings, params: dict,
+                     aggregate_values: dict | None = None) -> dict:
+        out: dict = {}
+        for name, expr, star_source in self._projection:
+            if star_source is not None:
+                binding, column = star_source
+                row = bindings.get(binding)
+                out[name] = None if row is None else row[column]
+            else:
+                assert expr is not None
+                if aggregate_values is not None and collect_aggregates(expr):
+                    expr = substitute_aggregates(expr, aggregate_values)
+                out[name] = expr.evaluate(scope, params)
+        return out
+
+    def _execute_plain(self, params: dict):
+        for bindings in self.root.rows(params):
+            scope = RowScope(bindings, self.columns_by_binding)
+            out_row = self._project_row(scope, bindings, params)
+            yield out_row, self._order_keys(scope, out_row, params)
+
+    def _execute_grouped(self, params: dict):
+        select = self.select
+        groups: dict[tuple, list[Bindings]] = {}
+        order: list[tuple] = []
+        for bindings in self.root.rows(params):
+            scope = RowScope(bindings, self.columns_by_binding)
+            key = tuple(expr.evaluate(scope, params) for expr in select.group_by)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(bindings)
+        if not select.group_by and not groups:
+            # Aggregates over an empty table still produce one row.
+            groups[()] = []
+            order.append(())
+
+        wanted: list[AggregateCall] = []
+        for item in select.items:
+            if item.expr is not None:
+                wanted.extend(collect_aggregates(item.expr))
+        wanted.extend(collect_aggregates(select.having))
+        for order_item in select.order_by:
+            wanted.extend(collect_aggregates(order_item.expr))
+
+        for key in order:
+            group = groups[key]
+            aggregate_values: dict[AggregateCall, object] = {}
+            for call in wanted:
+                if call not in aggregate_values:
+                    aggregate_values[call] = compute_aggregate(
+                        call, group, self.columns_by_binding, params
+                    )
+            representative: Bindings = (
+                group[0] if group
+                else {b: None for b in self.columns_by_binding}
+            )
+            scope = RowScope(representative, self.columns_by_binding)
+            if select.having is not None:
+                verdict = substitute_aggregates(
+                    select.having, aggregate_values
+                ).evaluate(scope, params)
+                if verdict is not True:
+                    continue
+            out_row = self._project_row(
+                scope, representative, params, aggregate_values
+            )
+            yield out_row, self._order_keys(scope, out_row, params, aggregate_values)

@@ -1,0 +1,208 @@
+"""Row storage: heaps plus hash indexes.
+
+A :class:`TableStore` owns the rows of one table.  Rows are dicts keyed
+by column name, addressed by a monotonically increasing row id.  The
+primary key and every unique constraint are enforced with hash indexes;
+secondary indexes accelerate equality lookups.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IntegrityError, SchemaError
+from repro.rdb.schema import Index, TableSchema
+
+
+class _HashIndex:
+    """Equality index mapping a tuple of column values to row ids."""
+
+    def __init__(self, columns: tuple[str, ...], unique: bool):
+        self.columns = columns
+        self.unique = unique
+        self._entries: dict[tuple, set[int]] = {}
+
+    def key_for(self, row: dict) -> tuple | None:
+        """The index key of ``row``; None when any indexed column is NULL
+        (SQL unique constraints ignore NULLs)."""
+        key = tuple(row[c] for c in self.columns)
+        if any(v is None for v in key):
+            return None
+        return key
+
+    def would_violate(self, row: dict, ignore_row_id: int | None = None) -> bool:
+        if not self.unique:
+            return False
+        key = self.key_for(row)
+        if key is None:
+            return False
+        holders = self._entries.get(key, set())
+        return any(rid != ignore_row_id for rid in holders)
+
+    def add(self, row_id: int, row: dict) -> None:
+        key = self.key_for(row)
+        if key is None:
+            return
+        self._entries.setdefault(key, set()).add(row_id)
+
+    def remove(self, row_id: int, row: dict) -> None:
+        key = self.key_for(row)
+        if key is None:
+            return
+        holders = self._entries.get(key)
+        if holders:
+            holders.discard(row_id)
+            if not holders:
+                del self._entries[key]
+
+    def find(self, key: tuple) -> set[int]:
+        return self._entries.get(key, set())
+
+
+class TableStore:
+    """Rows and indexes of one table.
+
+    Constraint checks that need *other* tables (foreign keys) live in
+    :class:`repro.rdb.database.Database`; this class enforces what is
+    local: NOT NULL, type coercion, primary-key and unique uniqueness.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.rows: dict[int, dict] = {}
+        self._next_row_id = 1
+        self._auto_counter = 0
+        self._indexes: dict[str, _HashIndex] = {}
+        if schema.primary_key:
+            self._indexes["#pk"] = _HashIndex(schema.primary_key, unique=True)
+        for position, unique_cols in enumerate(schema.unique_constraints):
+            self._indexes[f"#unique{position}"] = _HashIndex(unique_cols, unique=True)
+        for index in schema.indexes:
+            self.add_index(index)
+
+    # -- index management -----------------------------------------------------
+
+    def add_index(self, index: Index) -> None:
+        if index.name in self._indexes:
+            raise SchemaError(f"duplicate index name {index.name!r}")
+        hash_index = _HashIndex(index.columns, index.unique)
+        for row_id, row in self.rows.items():
+            if hash_index.would_violate(row):
+                raise IntegrityError(
+                    f"cannot create unique index {index.name!r}: duplicate values"
+                )
+            hash_index.add(row_id, row)
+        self._indexes[index.name] = hash_index
+
+    def index_on(self, columns: tuple[str, ...]) -> _HashIndex | None:
+        """An index whose column tuple exactly matches ``columns``."""
+        for index in self._indexes.values():
+            if index.columns == columns:
+                return index
+        return None
+
+    # -- row lifecycle ---------------------------------------------------------
+
+    def prepare_row(self, values: dict) -> dict:
+        """Build a full, type-coerced row from partial column values.
+
+        Applies auto-increment/defaults and checks NOT NULL.  Raises on
+        unknown columns so typos surface instead of silently dropping data.
+        """
+        for name in values:
+            if not self.schema.has_column(name):
+                raise SchemaError(
+                    f"table {self.schema.name!r} has no column {name!r}"
+                )
+        row: dict = {}
+        for column in self.schema.columns:
+            value = values.get(column.name)
+            if value is None and column.auto_increment:
+                self._auto_counter += 1
+                value = self._auto_counter
+            if value is None and column.default is not None:
+                value = column.default
+            value = column.sql_type.coerce(value)
+            if value is None and not column.nullable:
+                raise IntegrityError(
+                    f"column {self.schema.name}.{column.name} is NOT NULL"
+                )
+            row[column.name] = value
+        # Keep the auto counter ahead of explicitly supplied ids.
+        for column in self.schema.columns:
+            if column.auto_increment and isinstance(row[column.name], int):
+                self._auto_counter = max(self._auto_counter, row[column.name])
+        return row
+
+    def check_unique(self, row: dict, ignore_row_id: int | None = None) -> None:
+        for name, index in self._indexes.items():
+            if index.would_violate(row, ignore_row_id):
+                what = "primary key" if name == "#pk" else "unique constraint"
+                raise IntegrityError(
+                    f"{what} violation on {self.schema.name}({', '.join(index.columns)})"
+                )
+
+    def insert_prepared(self, row: dict) -> int:
+        self.check_unique(row)
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        self.rows[row_id] = row
+        for index in self._indexes.values():
+            index.add(row_id, row)
+        return row_id
+
+    def update_row(self, row_id: int, changes: dict) -> dict:
+        old = self.rows[row_id]
+        new = dict(old)
+        for name, value in changes.items():
+            column = self.schema.column(name)
+            value = column.sql_type.coerce(value)
+            if value is None and not column.nullable:
+                raise IntegrityError(
+                    f"column {self.schema.name}.{name} is NOT NULL"
+                )
+            new[name] = value
+        self.check_unique(new, ignore_row_id=row_id)
+        for index in self._indexes.values():
+            index.remove(row_id, old)
+            index.add(row_id, new)
+        self.rows[row_id] = new
+        return new
+
+    def delete_row(self, row_id: int) -> dict:
+        row = self.rows.pop(row_id)
+        for index in self._indexes.values():
+            index.remove(row_id, row)
+        return row
+
+    # -- transaction support (no checks: restoring a prior state) ----------
+
+    def restore_row(self, row_id: int, row: dict) -> None:
+        """Re-insert a previously deleted row under its original id."""
+        self.rows[row_id] = row
+        for index in self._indexes.values():
+            index.add(row_id, row)
+        self._next_row_id = max(self._next_row_id, row_id + 1)
+
+    def force_row(self, row_id: int, row: dict) -> None:
+        """Overwrite a row with an earlier version (undo of an update)."""
+        old = self.rows[row_id]
+        for index in self._indexes.values():
+            index.remove(row_id, old)
+            index.add(row_id, row)
+        self.rows[row_id] = row
+
+    # -- lookups ------------------------------------------------------------------
+
+    def find_by_key(self, columns: tuple[str, ...], key: tuple) -> list[int]:
+        """Row ids whose ``columns`` equal ``key``, via an index when one
+        exists, else a scan."""
+        index = self.index_on(columns)
+        if index is not None:
+            return sorted(index.find(key))
+        matches = []
+        for row_id, row in self.rows.items():
+            if tuple(row[c] for c in columns) == key:
+                matches.append(row_id)
+        return matches
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,40 @@
+"""The business tier: generic services driven by descriptors.
+
+Implements §3-§4 of the paper: unit beans (the Model's state objects),
+the generic unit service with one implementation per unit *kind* (11 in
+the paper's Acer-Euro count), generic operation services, and the
+generic page service whose ``compute_page()`` "carries out the parameter
+propagation and unit computation process".
+
+- :mod:`repro.services.beans` — unit beans and operation results,
+- :mod:`repro.services.base` — the runtime context and service ABCs,
+- :mod:`repro.services.units` — content-unit service implementations,
+- :mod:`repro.services.operations` — operation service implementations,
+- :mod:`repro.services.generic` — descriptor-driven dispatch (Figure 5),
+- :mod:`repro.services.page_service` — the generic page service,
+- :mod:`repro.services.plugins` — §7's plug-in units.
+"""
+
+from repro.services.base import RuntimeContext, RuntimeStats
+from repro.services.beans import OperationResult, UnitBean
+from repro.services.generic import (
+    GenericOperationService,
+    GenericUnitService,
+    builtin_service_count,
+)
+from repro.services.page_service import GenericPageService, PageResult
+from repro.services.plugins import PluginUnit, plugin_registry
+
+__all__ = [
+    "UnitBean",
+    "OperationResult",
+    "RuntimeContext",
+    "RuntimeStats",
+    "GenericUnitService",
+    "GenericOperationService",
+    "GenericPageService",
+    "PageResult",
+    "builtin_service_count",
+    "PluginUnit",
+    "plugin_registry",
+]

@@ -1,0 +1,139 @@
+"""Runtime context and service base classes.
+
+The :class:`RuntimeContext` is what the paper's business tier sees: the
+data tier (through pooled connections), the deployed descriptors, the
+optional unit-bean cache (§6), custom service overrides (§6), and the
+runtime statistics the experiments measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.descriptors import DescriptorRegistry
+from repro.errors import ServiceError
+from repro.rdb import ConnectionPool, Database
+from repro.rdb.executor import ResultSet
+from repro.services.beans import UnitBean
+
+
+@dataclass
+class RuntimeStats:
+    """Counters the experiments read (E5 counts spared queries here)."""
+
+    pages_computed: int = 0
+    units_computed: int = 0
+    operations_executed: int = 0
+    queries_executed: int = 0
+    bean_cache_hits: int = 0
+    bean_cache_misses: int = 0
+
+    def reset(self) -> None:
+        self.pages_computed = 0
+        self.units_computed = 0
+        self.operations_executed = 0
+        self.queries_executed = 0
+        self.bean_cache_hits = 0
+        self.bean_cache_misses = 0
+
+
+class RuntimeContext:
+    """Shared runtime wiring for every service.
+
+    ``bean_cache`` is duck-typed (see
+    :class:`repro.caching.bean_cache.UnitBeanCache`): it must offer
+    ``get(key)``, ``put(key, bean, entities, roles, policy)`` and
+    ``invalidate_writes(entities, roles)``.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        registry: DescriptorRegistry,
+        bean_cache=None,
+        pool_size: int = 8,
+    ):
+        self.database = database
+        self.registry = registry
+        self.bean_cache = bean_cache
+        self.pool = ConnectionPool(database, size=pool_size)
+        self.stats = RuntimeStats()
+        self.custom_services: dict[str, object] = {}
+
+    # -- data access (the paper's JDBC layer) -------------------------------
+
+    def query(self, sql: str, params: dict) -> ResultSet:
+        """Run a data-extraction query through a pooled connection."""
+        connection = self.pool.acquire()
+        try:
+            result = self.database.query(sql, params)
+            self.stats.queries_executed += 1
+            return result
+        finally:
+            connection.close()
+
+    def execute(self, sql: str, params: dict) -> int:
+        """Run a DML statement; returns affected row count."""
+        connection = self.pool.acquire()
+        try:
+            outcome = self.database.execute(sql, params)
+            if not isinstance(outcome, int):
+                raise ServiceError(f"operation statement was not DML: {sql!r}")
+            return outcome
+        finally:
+            connection.close()
+
+    @property
+    def last_insert_id(self) -> int | None:
+        return self.database.last_insert_id
+
+    # -- §6 hooks -------------------------------------------------------------
+
+    def register_custom_service(self, name: str, service) -> None:
+        """Register a developer-supplied component that overrides a
+        generated unit service (descriptor ``customService`` attribute)."""
+        self.custom_services[name] = service
+
+    def custom_service(self, name: str):
+        try:
+            return self.custom_services[name]
+        except KeyError:
+            raise ServiceError(
+                f"descriptor references unknown custom service {name!r}"
+            ) from None
+
+
+class UnitServiceBase:
+    """Service contract for one unit *kind* (paper Figure 5's generic
+    unit service, instantiated by a descriptor)."""
+
+    kind = "abstract"
+
+    def compute(self, descriptor, inputs: dict, ctx: RuntimeContext) -> UnitBean:
+        raise NotImplementedError
+
+
+class OperationServiceBase:
+    """Service contract for one operation kind."""
+
+    kind = "abstract"
+
+    def execute(self, descriptor, inputs: dict, ctx: RuntimeContext, session):
+        raise NotImplementedError
+
+
+def coerce_value(value, value_type: str):
+    """Coerce a raw request value according to a descriptor type hint."""
+    if value is None or value_type in ("auto", "string"):
+        return value
+    if value_type == "int":
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+        return int(str(value))
+    if value_type == "float":
+        return float(value) if not isinstance(value, float) else value
+    if value_type == "bool":
+        if isinstance(value, bool):
+            return value
+        return str(value).lower() in ("true", "1", "yes", "on")
+    raise ServiceError(f"unknown value type {value_type!r}")

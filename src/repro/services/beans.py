@@ -1,0 +1,70 @@
+"""Unit beans and operation results.
+
+"At the end of the page service execution, all the JavaBeans storing the
+result of the data retrieval queries of the page units (called unit
+beans) are available to the View" (§3).  A :class:`UnitBean` is that
+object: the computed content of one unit plus the output values other
+units may receive over links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class UnitBean:
+    """The computed content of one unit.
+
+    - ``current`` — the single row of a data unit,
+    - ``rows`` — the row list of index/multidata/multichoice/scroller
+      units; hierarchical units nest children under the ``_children``
+      key of each row,
+    - ``fields`` — the form fields of an entry unit,
+    - ``total``/``block``/``block_count`` — scroller window state,
+    - ``outputs`` — slot→value pairs transportable over links,
+    - ``from_cache`` — True when the bean was served by the §6
+      business-tier cache instead of being recomputed.
+    """
+
+    unit_id: str
+    name: str
+    kind: str
+    current: dict | None = None
+    rows: list[dict] = field(default_factory=list)
+    fields: list[dict] = field(default_factory=list)
+    total: int | None = None
+    block: int | None = None
+    block_count: int | None = None
+    outputs: dict = field(default_factory=dict)
+    from_cache: bool = False
+
+    def output(self, slot: str):
+        return self.outputs.get(slot)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.current is None and not self.rows and not self.fields
+
+    def row_count(self) -> int:
+        if self.current is not None:
+            return 1
+        return len(self.rows)
+
+
+@dataclass
+class OperationResult:
+    """The outcome of one operation execution.
+
+    ``ok`` selects the OK or KO link; ``outputs`` (e.g. a create unit's
+    new oid) are forwarded along that link's parameters.
+    """
+
+    operation_id: str
+    ok: bool
+    outputs: dict = field(default_factory=dict)
+    message: str | None = None
+    affected_rows: int = 0
+
+    def output(self, slot: str):
+        return self.outputs.get(slot)

@@ -1,0 +1,75 @@
+"""Plug-in units (§7).
+
+"We have added to WebRatio the notion of 'plug-in units', i.e. of new
+components, which can be easily plugged into the design and runtime
+environment, by providing their graphical icon, their unit service and
+rendition tags and the XSL rules for building their descriptors."
+
+A :class:`PluginUnit` bundles exactly those pieces: the new unit kind's
+name, the service computing its bean, the custom tag rendering it, and
+(optionally) an operation service and presentation rule.  Registering a
+plug-in makes the kind available to the code generators, the generic
+dispatcher, and the template engine — no core change needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+
+
+@dataclass
+class PluginUnit:
+    """A pluggable unit kind."""
+
+    kind: str
+    tag_name: str  # custom tag in templates, e.g. "webml:mapUnit"
+    service: object = None  # UnitServiceBase-compatible
+    operation_service: object = None  # OperationServiceBase-compatible
+    renderer: object = None  # object with render(bean, element, context)
+    presentation_rule: object = None  # an xslt rule applied to its tag
+    descriptor_builder: object = None  # callable(unit, mapping) -> UnitDescriptor
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ServiceError("plug-in unit needs a kind name")
+        if not self.tag_name:
+            raise ServiceError("plug-in unit needs a tag name")
+        if self.service is None and self.operation_service is None:
+            raise ServiceError(
+                f"plug-in unit {self.kind!r} needs a unit or operation service"
+            )
+
+
+class PluginRegistry:
+    """The runtime registry of plug-in units."""
+
+    def __init__(self) -> None:
+        self._plugins: dict[str, PluginUnit] = {}
+
+    def register(self, plugin: PluginUnit) -> PluginUnit:
+        from repro.services.operations import OPERATION_SERVICES
+        from repro.services.units import CONTENT_UNIT_SERVICES
+
+        if plugin.kind in CONTENT_UNIT_SERVICES or plugin.kind in OPERATION_SERVICES:
+            raise ServiceError(
+                f"plug-in kind {plugin.kind!r} collides with a built-in unit"
+            )
+        if plugin.kind in self._plugins:
+            raise ServiceError(f"plug-in kind {plugin.kind!r} already registered")
+        self._plugins[plugin.kind] = plugin
+        return plugin
+
+    def unregister(self, kind: str) -> None:
+        self._plugins.pop(kind, None)
+
+    def get(self, kind: str) -> PluginUnit | None:
+        return self._plugins.get(kind)
+
+    def kinds(self) -> list[str]:
+        return sorted(self._plugins)
+
+
+#: process-wide registry (tests unregister what they add)
+plugin_registry = PluginRegistry()

@@ -1,0 +1,83 @@
+"""Identifier and naming helpers shared by the model and codegen layers.
+
+The generators continually move between the conceptual world (``"Volume
+data"`` unit names, ``VolumeToIssue`` relationship names) and artifact
+names (SQL table names, descriptor ids, Java-like class names).  These
+helpers centralize those conversions so every generator names things the
+same way.
+"""
+
+from __future__ import annotations
+
+import re
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+_NON_IDENTIFIER = re.compile(r"[^A-Za-z0-9_]+")
+
+
+def camel_to_snake(name: str) -> str:
+    """Convert ``CamelCase``/``mixedCase`` to ``snake_case``.
+
+    >>> camel_to_snake("VolumeToIssue")
+    'volume_to_issue'
+    >>> camel_to_snake("ACMPaper")
+    'acm_paper'
+    """
+    return _CAMEL_BOUNDARY.sub("_", name).lower()
+
+
+def snake_to_camel(name: str, upper_first: bool = True) -> str:
+    """Convert ``snake_case`` (or space-separated words) to CamelCase.
+
+    >>> snake_to_camel("volume_to_issue")
+    'VolumeToIssue'
+    >>> snake_to_camel("volume data", upper_first=False)
+    'volumeData'
+    """
+    parts = [p for p in re.split(r"[\s_]+", name) if p]
+    if not parts:
+        return ""
+    camel = "".join(p[:1].upper() + p[1:] for p in parts)
+    if not upper_first:
+        camel = camel[:1].lower() + camel[1:]
+    return camel
+
+
+def make_identifier(name: str) -> str:
+    """Turn an arbitrary display name into a safe lowercase identifier.
+
+    CamelCase boundaries become underscores, non-alphanumeric runs
+    collapse to single underscores, and a leading digit gets an
+    underscore prefix so the result is a valid Python/SQL name.
+
+    >>> make_identifier("Issues&Papers")
+    'issues_papers'
+    >>> make_identifier("VolumeToIssue")
+    'volume_to_issue'
+    >>> make_identifier("2-column layout")
+    '_2_column_layout'
+    """
+    ident = _NON_IDENTIFIER.sub("_", camel_to_snake(name.strip())).strip("_")
+    # Collapse internal runs produced by consecutive separators.
+    ident = re.sub(r"_+", "_", ident)
+    if not ident:
+        return "_"
+    if ident[0].isdigit():
+        ident = "_" + ident
+    return ident
+
+
+def unique_name(base: str, taken: set[str]) -> str:
+    """Return ``base`` or ``base_2``, ``base_3``... not present in ``taken``.
+
+    The chosen name is added to ``taken`` so repeated calls keep uniqueness.
+    """
+    if base not in taken:
+        taken.add(base)
+        return base
+    counter = 2
+    while f"{base}_{counter}" in taken:
+        counter += 1
+    name = f"{base}_{counter}"
+    taken.add(name)
+    return name

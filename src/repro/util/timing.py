@@ -1,0 +1,39 @@
+"""Clock abstractions.
+
+Throughput benchmarks use the real clock (via pytest-benchmark), but the
+application-server experiments (E7) must be deterministic: they advance a
+:class:`VirtualClock` explicitly so instance-pool timeouts and load decay
+behave identically on every run.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class SystemClock:
+    """Wall-clock time source (monotonic)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class VirtualClock:
+    """Manually-advanced time source for deterministic simulations."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time.
+
+        Negative advances are rejected so simulations cannot accidentally
+        travel backwards and corrupt expiry bookkeeping.
+        """
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self._now += seconds
+        return self._now

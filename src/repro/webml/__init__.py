@@ -1,0 +1,87 @@
+"""The WebML hypertext model.
+
+WebML (paper §1) specifies the front-end of a data-intensive Web
+application: site views targeted at user groups, areas, pages, content
+units bound to ER entities/relationships, operation units, and the links
+that carry parameters and navigation between them.
+
+- :mod:`repro.webml.model` — SiteView/Area/Page containers and the
+  :class:`WebMLModel` facade with its fluent builder API,
+- :mod:`repro.webml.units` — the content unit taxonomy (data, index,
+  multidata, multichoice, scroller, entry, hierarchical index),
+- :mod:`repro.webml.operations` — operation units (create, delete,
+  modify, connect, disconnect, login, logout) with OK/KO outcomes,
+- :mod:`repro.webml.links` — link kinds and parameter bindings,
+- :mod:`repro.webml.selectors` — unit selectors (attribute, key and
+  relationship-role conditions),
+- :mod:`repro.webml.validation` — whole-model structural validation,
+- :mod:`repro.webml.loader` — XML persistence.
+"""
+
+from repro.webml.links import Link, LinkKind, LinkParameter
+from repro.webml.loader import webml_from_xml, webml_to_xml
+from repro.webml.model import Area, Page, SiteView, WebMLModel
+from repro.webml.operations import (
+    ConnectUnit,
+    CreateUnit,
+    DeleteUnit,
+    DisconnectUnit,
+    LoginUnit,
+    LogoutUnit,
+    ModifyUnit,
+    OperationUnit,
+)
+from repro.webml.selectors import (
+    AttributeCondition,
+    KeyCondition,
+    RelationshipCondition,
+    Selector,
+)
+from repro.webml.units import (
+    ContentUnit,
+    DataUnit,
+    EntryField,
+    EntryUnit,
+    HierarchicalIndexUnit,
+    HierarchyLevel,
+    IndexUnit,
+    MultichoiceIndexUnit,
+    MultidataUnit,
+    ScrollerUnit,
+)
+from repro.webml.validation import validate_model
+
+__all__ = [
+    "WebMLModel",
+    "SiteView",
+    "Area",
+    "Page",
+    "ContentUnit",
+    "DataUnit",
+    "IndexUnit",
+    "MultidataUnit",
+    "MultichoiceIndexUnit",
+    "ScrollerUnit",
+    "EntryUnit",
+    "EntryField",
+    "HierarchicalIndexUnit",
+    "HierarchyLevel",
+    "OperationUnit",
+    "CreateUnit",
+    "DeleteUnit",
+    "ModifyUnit",
+    "ConnectUnit",
+    "DisconnectUnit",
+    "LoginUnit",
+    "LogoutUnit",
+    "Link",
+    "LinkKind",
+    "LinkParameter",
+    "Selector",
+    "AttributeCondition",
+    "KeyCondition",
+    "RelationshipCondition",
+    "validate_model",
+    "webml_to_xml",
+    "webml_from_xml",
+]

@@ -1,0 +1,135 @@
+"""Hypertext diagram export (Graphviz DOT).
+
+The paper's workflow is diagram-centric — "the developer re-links the
+pages in the WebML diagram" (§7) — and Figure 1 is exactly such a
+diagram: pages as rectangles, units as labelled icons inside them, links
+as arrows (dashed for transport).  :func:`model_to_dot` renders a model
+in that visual convention so any Graphviz viewer reproduces the paper's
+notation.
+"""
+
+from __future__ import annotations
+
+from repro.webml.links import LinkKind
+from repro.webml.model import Area, SiteView, WebMLModel
+
+#: unit kind → the icon-ish glyph shown before the unit name
+UNIT_GLYPHS = {
+    "data": "▢",
+    "index": "≣",
+    "multidata": "▤",
+    "multichoice": "☑",
+    "scroller": "⇄",
+    "entry": "✎",
+    "hierarchical": "≣≣",
+}
+
+_LINK_STYLE = {
+    LinkKind.NORMAL: 'style=solid',
+    LinkKind.TRANSPORT: 'style=dashed',
+    LinkKind.AUTOMATIC: 'style=dotted',
+    LinkKind.OK: 'style=solid, color="darkgreen", label="OK"',
+    LinkKind.KO: 'style=solid, color="red", label="KO"',
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def _unit_label(unit) -> str:
+    glyph = UNIT_GLYPHS.get(unit.kind, "⚙")
+    label = f"{glyph} {unit.name}"
+    if unit.entity:
+        label += f"\\n{unit.entity}"
+        roles = unit.depends_on_roles
+        if roles:
+            label += f" [{', '.join(roles)}]"
+    return label
+
+
+def model_to_dot(model: WebMLModel,
+                 site_view_names: list[str] | None = None) -> str:
+    """Render the hypertext as a DOT document.
+
+    ``site_view_names`` restricts the drawing (a 22-site-view portal is
+    unreadable on one canvas); links whose two ends are both drawn are
+    included.
+    """
+    wanted = None if site_view_names is None else set(site_view_names)
+    lines = [
+        f"digraph {_quote(model.name)} {{",
+        "  rankdir=LR;",
+        "  compound=true;",
+        '  node [fontname="Helvetica", fontsize=10];',
+        "  node [shape=box, style=rounded];",
+    ]
+    drawn: set[str] = set()
+    anchors: dict[str, str] = {}  # page id → a node inside its cluster
+    for view in model.site_views:
+        if wanted is not None and view.name not in wanted:
+            continue
+        lines.append(f"  subgraph cluster_{view.id} {{")
+        lines.append(f"    label={_quote('site view: ' + view.name)};")
+        lines.append('    style=dashed;')
+        _emit_pages(view, lines, drawn, anchors, indent="    ")
+        for operation in view.operations:
+            lines.append(
+                f"    {operation.id} [shape=ellipse, "
+                f"label={_quote('⚙ ' + operation.name)}];"
+            )
+            drawn.add(operation.id)
+        lines.append("  }")
+    for link in model.links:
+        if link.source not in drawn or link.target not in drawn:
+            continue
+        attrs = _LINK_STYLE[link.kind]
+        if link.label and link.kind not in (LinkKind.OK, LinkKind.KO):
+            attrs += f", label={_quote(link.label)}"
+        if link.parameters:
+            tooltip = ", ".join(
+                f"{p.source_output}→{p.target_input}"
+                for p in link.parameters
+            )
+            attrs += f", tooltip={_quote(tooltip)}"
+        # DOT edges must join nodes; page endpoints use an anchor unit
+        # plus lhead/ltail so the arrow visually meets the page border.
+        source = link.source
+        target = link.target
+        if source in anchors:
+            attrs += f", ltail=cluster_{source}"
+            source = anchors[source]
+        if target in anchors:
+            attrs += f", lhead=cluster_{target}"
+            target = anchors[target]
+        lines.append(f"  {source} -> {target} [{attrs}];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _emit_pages(container: SiteView | Area, lines: list[str],
+                drawn: set[str], anchors: dict[str, str],
+                indent: str) -> None:
+    for page in container.pages:
+        lines.append(f"{indent}subgraph cluster_{page.id} {{")
+        lines.append(f"{indent}  label={_quote(page.name)};")
+        lines.append(f"{indent}  style=solid;")
+        if not page.units:
+            lines.append(f"{indent}  {page.id}_anchor "
+                         "[shape=point, style=invis];")
+            anchors[page.id] = f"{page.id}_anchor"
+        for unit in page.units:
+            lines.append(
+                f"{indent}  {unit.id} [label={_quote(_unit_label(unit))}];"
+            )
+            drawn.add(unit.id)
+        if page.units:
+            anchors[page.id] = page.units[0].id
+        drawn.add(page.id)
+        lines.append(f"{indent}}}")
+    for area in getattr(container, "areas", []):
+        lines.append(f"{indent}subgraph cluster_{area.id} {{")
+        lines.append(f"{indent}  label={_quote('area: ' + area.name)};")
+        lines.append(f"{indent}  style=dotted;")
+        _emit_pages(area, lines, drawn, anchors, indent + "  ")
+        lines.append(f"{indent}}}")

@@ -1,0 +1,428 @@
+"""XML persistence of WebML models.
+
+WebRatio stores the hypertext specification as an XML project document;
+this module provides the equivalent round-trippable serialization.
+Element ids are written out but regenerated on load (links are remapped),
+so a loaded model is structurally identical without depending on the
+builder's id counters.
+"""
+
+from __future__ import annotations
+
+from repro.er.model import ERModel
+from repro.errors import WebMLError
+from repro.webml.links import LinkKind
+from repro.webml.model import Area, Page, SiteView, WebMLModel
+from repro.webml.operations import (
+    ConnectUnit,
+    CreateUnit,
+    DeleteUnit,
+    DisconnectUnit,
+    LoginUnit,
+    LogoutUnit,
+    ModifyUnit,
+    OperationUnit,
+)
+from repro.webml.selectors import (
+    AttributeCondition,
+    KeyCondition,
+    RelationshipCondition,
+    Selector,
+)
+from repro.webml.units import (
+    ContentUnit,
+    EntryField,
+    EntryUnit,
+    HierarchicalIndexUnit,
+    HierarchyLevel,
+)
+from repro.xmlkit import Element, parse_xml, pretty_print
+
+
+def _bool(value: bool) -> str:
+    return "true" if value else "false"
+
+
+def _order_to_text(order_by: list[tuple[str, bool]]) -> str:
+    return ",".join(f"{attr}:{'desc' if desc else 'asc'}" for attr, desc in order_by)
+
+
+def _order_from_text(text: str) -> list[tuple[str, bool]]:
+    items: list[tuple[str, bool]] = []
+    for piece in filter(None, text.split(",")):
+        attr, _sep, direction = piece.partition(":")
+        items.append((attr, direction == "desc"))
+    return items
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def webml_to_xml(model: WebMLModel) -> str:
+    root = Element("webml", {"name": model.name, "datamodel": model.data_model.name})
+    for view in model.site_views:
+        root.append(_site_view_to_xml(model, view))
+    links_el = root.add("links")
+    for link in model.links:
+        link_el = links_el.add(
+            "link",
+            {
+                "id": link.id,
+                "kind": link.kind.value,
+                "source": link.source,
+                "target": link.target,
+            },
+        )
+        if link.label:
+            link_el.set("label", link.label)
+        for parameter in link.parameters:
+            link_el.add(
+                "param",
+                {"output": parameter.source_output, "input": parameter.target_input},
+            )
+    return pretty_print(root)
+
+
+def _site_view_to_xml(model: WebMLModel, view: SiteView) -> Element:
+    view_el = Element(
+        "siteview",
+        {
+            "id": view.id,
+            "name": view.name,
+            "device": view.device,
+            "requiresLogin": _bool(view.requires_login),
+        },
+    )
+    if view.user_group:
+        view_el.set("group", view.user_group)
+    if view.home_page_id:
+        view_el.set("home", view.home_page_id)
+    for page in view.pages:
+        view_el.append(_page_to_xml(page))
+    for area in view.areas:
+        view_el.append(_area_to_xml(area))
+    for operation in view.operations:
+        view_el.append(_operation_to_xml(operation))
+    return view_el
+
+
+def _area_to_xml(area: Area) -> Element:
+    area_el = Element("area", {"id": area.id, "name": area.name})
+    for page in area.pages:
+        area_el.append(_page_to_xml(page))
+    for sub in area.areas:
+        area_el.append(_area_to_xml(sub))
+    return area_el
+
+
+def _page_to_xml(page: Page) -> Element:
+    page_el = Element(
+        "page",
+        {"id": page.id, "name": page.name, "layout": page.layout_category},
+    )
+    if page.landmark:
+        page_el.set("landmark", "true")
+    for unit in page.units:
+        page_el.append(_unit_to_xml(unit))
+    return page_el
+
+
+def _unit_to_xml(unit: ContentUnit) -> Element:
+    unit_el = Element("unit", {"id": unit.id, "name": unit.name, "kind": unit.kind})
+    if unit.entity:
+        unit_el.set("entity", unit.entity)
+    if unit.extra_inputs:
+        unit_el.set("extraInputs", ",".join(unit.extra_inputs))
+    if unit.extra_outputs:
+        unit_el.set("extraOutputs", ",".join(unit.extra_outputs))
+    if unit.cacheable:
+        unit_el.set("cacheable", "true")
+        unit_el.set("cachePolicy", unit.cache_policy)
+    if unit.display_attributes:
+        unit_el.set("display", ",".join(unit.display_attributes))
+    order_by = getattr(unit, "order_by", None)
+    if order_by:
+        unit_el.set("order", _order_to_text(order_by))
+    if getattr(unit, "block_size", None) and unit.kind == "scroller":
+        unit_el.set("blockSize", str(unit.block_size))
+    if unit.selector and not _is_implicit_selector(unit):
+        unit_el.append(_selector_to_xml(unit.selector))
+    if isinstance(unit, EntryUnit):
+        for field in unit.fields:
+            field_el = unit_el.add(
+                "field",
+                {
+                    "name": field.name,
+                    "type": field.field_type,
+                    "required": _bool(field.required),
+                },
+            )
+            if field.label:
+                field_el.set("label", field.label)
+    if isinstance(unit, HierarchicalIndexUnit):
+        for level in unit.levels:
+            level_el = unit_el.add("level", {"entity": level.entity})
+            if level.role:
+                level_el.set("role", level.role)
+            if level.display_attributes:
+                level_el.set("display", ",".join(level.display_attributes))
+            if level.order_by:
+                level_el.set("order", _order_to_text(level.order_by))
+    return unit_el
+
+
+def _is_implicit_selector(unit: ContentUnit) -> bool:
+    """Data units get ``Selector.by_key()`` and rooted hierarchical units
+    get a role selector implicitly; don't serialize those."""
+    if unit.kind == "data":
+        conditions = unit.selector.conditions
+        return len(conditions) == 1 and isinstance(conditions[0], KeyCondition) \
+            and conditions[0].parameter == "oid"
+    if unit.kind == "hierarchical":
+        level0 = unit.levels[0]
+        if level0.role is None:
+            return unit.selector is None
+        conditions = unit.selector.conditions
+        return (
+            len(conditions) == 1
+            and isinstance(conditions[0], RelationshipCondition)
+            and conditions[0].role == level0.role
+        )
+    return unit.selector is None
+
+
+def _selector_to_xml(selector: Selector) -> Element:
+    selector_el = Element("selector")
+    for condition in selector.conditions:
+        if isinstance(condition, KeyCondition):
+            selector_el.add("key", {"parameter": condition.parameter})
+        elif isinstance(condition, AttributeCondition):
+            attrs = {"attribute": condition.attribute, "op": condition.operator}
+            if condition.parameter is not None:
+                attrs["parameter"] = condition.parameter
+            else:
+                attrs["value"] = str(condition.value)
+            selector_el.add("attributeCondition", attrs)
+        elif isinstance(condition, RelationshipCondition):
+            selector_el.add(
+                "roleCondition",
+                {"role": condition.role, "parameter": condition.parameter},
+            )
+    return selector_el
+
+
+def _operation_to_xml(operation: OperationUnit) -> Element:
+    op_el = Element(
+        "operation",
+        {"id": operation.id, "name": operation.name, "kind": operation.kind},
+    )
+    entity = getattr(operation, "entity", None)
+    if entity:
+        op_el.set("entity", entity)
+    role = getattr(operation, "role", None)
+    if role:
+        op_el.set("role", role)
+    attributes = getattr(operation, "attributes", None)
+    if attributes:
+        op_el.set("attributes", ",".join(attributes))
+    if isinstance(operation, LoginUnit):
+        op_el.set("userEntity", operation.user_entity)
+        op_el.set("usernameAttribute", operation.username_attribute)
+        op_el.set("passwordAttribute", operation.password_attribute)
+    return op_el
+
+
+# ---------------------------------------------------------------------------
+# Deserialization
+# ---------------------------------------------------------------------------
+
+
+def webml_from_xml(document: str, data_model: ERModel) -> WebMLModel:
+    root = parse_xml(document)
+    if root.tag != "webml":
+        raise WebMLError(f"expected <webml> document, got <{root.tag}>")
+    model = WebMLModel(data_model, name=root.get("name", "application"))
+    id_map: dict[str, str] = {}
+
+    for view_el in root.find_all("siteview"):
+        view = model.site_view(
+            view_el.require_attr("name"),
+            device=view_el.get("device", "html"),
+            requires_login=view_el.get("requiresLogin") == "true",
+            user_group=view_el.get("group"),
+        )
+        id_map[view_el.require_attr("id")] = view.id
+        for child in view_el.element_children():
+            if child.tag == "page":
+                _load_page(view, child, id_map)
+            elif child.tag == "area":
+                _load_area(view.area(child.require_attr("name")), child, id_map)
+            elif child.tag == "operation":
+                _load_operation(view, child, id_map)
+        home = view_el.get("home")
+        if home and home in id_map:
+            view.home_page_id = id_map[home]
+
+    links_el = root.find("links")
+    if links_el is not None:
+        for link_el in links_el.find_all("link"):
+            link = model.link(
+                id_map[link_el.require_attr("source")],
+                id_map[link_el.require_attr("target")],
+                kind=LinkKind.parse(link_el.require_attr("kind")),
+                label=link_el.get("label"),
+            )
+            for param_el in link_el.find_all("param"):
+                link.carry(
+                    param_el.require_attr("output"), param_el.require_attr("input")
+                )
+    return model
+
+
+def _load_area(area: Area, area_el: Element, id_map: dict) -> None:
+    id_map[area_el.require_attr("id")] = area.id
+    for child in area_el.element_children():
+        if child.tag == "page":
+            _load_page(area, child, id_map)
+        elif child.tag == "area":
+            _load_area(area.area(child.require_attr("name")), child, id_map)
+
+
+def _load_page(container, page_el: Element, id_map: dict) -> None:
+    page = container.page(
+        page_el.require_attr("name"),
+        layout_category=page_el.get("layout", "one-column"),
+        landmark=page_el.get("landmark") == "true",
+    )
+    id_map[page_el.require_attr("id")] = page.id
+    for unit_el in page_el.find_all("unit"):
+        unit = _load_unit(page, unit_el)
+        id_map[unit_el.require_attr("id")] = unit.id
+
+
+def _load_unit(page: Page, unit_el: Element) -> ContentUnit:
+    kind = unit_el.require_attr("kind")
+    name = unit_el.require_attr("name")
+    common: dict = {}
+    display = unit_el.get("display")
+    if display:
+        common["display_attributes"] = display.split(",")
+    if unit_el.get("extraInputs"):
+        common["extra_inputs"] = unit_el.get("extraInputs").split(",")
+    if unit_el.get("extraOutputs"):
+        common["extra_outputs"] = unit_el.get("extraOutputs").split(",")
+    if unit_el.get("cacheable") == "true":
+        common["cacheable"] = True
+        common["cache_policy"] = unit_el.get("cachePolicy", "model-driven")
+    selector_el = unit_el.find("selector")
+    if selector_el is not None:
+        common["selector"] = _load_selector(selector_el)
+    order = unit_el.get("order")
+    order_by = _order_from_text(order) if order else []
+
+    if kind == "entry":
+        fields = [
+            EntryField(
+                name=f.require_attr("name"),
+                field_type=f.get("type", "text"),
+                required=f.get("required") == "true",
+                label=f.get("label"),
+            )
+            for f in unit_el.find_all("field")
+        ]
+        return page.entry_unit(name, fields, **common)
+    if kind == "hierarchical":
+        levels = [
+            HierarchyLevel(
+                entity=level_el.require_attr("entity"),
+                role=level_el.get("role"),
+                display_attributes=(level_el.get("display") or "").split(",")
+                if level_el.get("display") else [],
+                order_by=_order_from_text(level_el.get("order") or ""),
+            )
+            for level_el in unit_el.find_all("level")
+        ]
+        return page.hierarchical_index(name, levels, **common)
+
+    from repro.services.plugins import plugin_registry
+
+    if plugin_registry.get(kind) is not None:
+        return page.plugin_unit(name, kind, entity=unit_el.get("entity"),
+                                **common)
+
+    entity = unit_el.require_attr("entity")
+    if kind == "data":
+        return page.data_unit(name, entity, **common)
+    if kind == "index":
+        return page.index_unit(name, entity, order_by=order_by, **common)
+    if kind == "multidata":
+        return page.multidata_unit(name, entity, order_by=order_by, **common)
+    if kind == "multichoice":
+        return page.multichoice_unit(name, entity, order_by=order_by, **common)
+    if kind == "scroller":
+        return page.scroller_unit(
+            name,
+            entity,
+            block_size=int(unit_el.get("blockSize", "10")),
+            order_by=order_by,
+            **common,
+        )
+    raise WebMLError(f"unknown unit kind {kind!r} in XML")
+
+
+def _load_selector(selector_el: Element) -> Selector:
+    conditions = []
+    for condition_el in selector_el.element_children():
+        if condition_el.tag == "key":
+            conditions.append(KeyCondition(condition_el.get("parameter", "oid")))
+        elif condition_el.tag == "attributeCondition":
+            parameter = condition_el.get("parameter")
+            conditions.append(
+                AttributeCondition(
+                    attribute=condition_el.require_attr("attribute"),
+                    operator=condition_el.get("op", "="),
+                    value=condition_el.get("value") if parameter is None else None,
+                    parameter=parameter,
+                )
+            )
+        elif condition_el.tag == "roleCondition":
+            conditions.append(
+                RelationshipCondition(
+                    role=condition_el.require_attr("role"),
+                    parameter=condition_el.get("parameter"),
+                )
+            )
+        else:
+            raise WebMLError(f"unknown selector condition <{condition_el.tag}>")
+    return Selector(conditions)
+
+
+def _load_operation(view: SiteView, op_el: Element, id_map: dict) -> None:
+    kind = op_el.require_attr("kind")
+    name = op_el.require_attr("name")
+    attributes = (op_el.get("attributes") or "").split(",") \
+        if op_el.get("attributes") else []
+    if kind == "create":
+        operation = view.create_op(name, op_el.require_attr("entity"), attributes)
+    elif kind == "delete":
+        operation = view.delete_op(name, op_el.require_attr("entity"))
+    elif kind == "modify":
+        operation = view.modify_op(name, op_el.require_attr("entity"), attributes)
+    elif kind == "connect":
+        operation = view.connect_op(name, op_el.require_attr("role"))
+    elif kind == "disconnect":
+        operation = view.disconnect_op(name, op_el.require_attr("role"))
+    elif kind == "login":
+        operation = view.login_op(
+            name,
+            user_entity=op_el.get("userEntity", "User"),
+            username_attribute=op_el.get("usernameAttribute", "username"),
+            password_attribute=op_el.get("passwordAttribute", "password"),
+        )
+    elif kind == "logout":
+        operation = view.logout_op(name)
+    else:
+        raise WebMLError(f"unknown operation kind {kind!r} in XML")
+    id_map[op_el.require_attr("id")] = operation.id

@@ -1,0 +1,111 @@
+"""Unit selectors.
+
+A selector restricts the instances a content unit publishes.  Figure 1's
+hierarchical index displays ``Issue[VolumeToIssue]``: the issues reached
+from the current volume via the VolumeToIssue role.  Selector conditions
+come in three kinds:
+
+- :class:`KeyCondition` — select by object identifier, supplied through a
+  link parameter (the data unit's implicit behaviour),
+- :class:`AttributeCondition` — compare an attribute to a constant or a
+  link parameter,
+- :class:`RelationshipCondition` — keep instances related to a given
+  object through a relationship role.
+
+Conditions AND together.  Parameter-driven conditions name the unit
+*input* slot that feeds them; link parameters bind outputs of other
+units to those slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WebMLError
+
+_OPERATORS = ("=", "<>", "<", "<=", ">", ">=", "like")
+
+
+@dataclass
+class KeyCondition:
+    """Select the instance whose oid equals the ``parameter`` input."""
+
+    parameter: str = "oid"
+
+    @property
+    def parameters(self) -> list[str]:
+        return [self.parameter]
+
+
+@dataclass
+class AttributeCondition:
+    """``attribute <op> value-or-parameter``.
+
+    Exactly one of ``value`` / ``parameter`` must be set.  ``parameter``
+    names an input slot fed by a link (e.g. an entry-unit field).
+    """
+
+    attribute: str
+    operator: str = "="
+    value: object = None
+    parameter: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise WebMLError(f"unknown selector operator {self.operator!r}")
+        if (self.value is None) == (self.parameter is None):
+            raise WebMLError(
+                "attribute condition needs exactly one of value / parameter"
+            )
+
+    @property
+    def parameters(self) -> list[str]:
+        return [self.parameter] if self.parameter else []
+
+
+@dataclass
+class RelationshipCondition:
+    """Keep instances related via ``role`` to the object identified by
+    the ``parameter`` input (the ``Entity[Role]`` notation)."""
+
+    role: str
+    parameter: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.parameter is None:
+            # Default slot name: the role itself, snake-cased.
+            from repro.util import make_identifier
+
+            self.parameter = make_identifier(self.role)
+
+    @property
+    def parameters(self) -> list[str]:
+        return [self.parameter]
+
+
+Condition = KeyCondition | AttributeCondition | RelationshipCondition
+
+
+@dataclass
+class Selector:
+    """A conjunctive list of conditions."""
+
+    conditions: list[Condition] = field(default_factory=list)
+
+    @property
+    def parameters(self) -> list[str]:
+        """All input slots this selector needs, in declaration order."""
+        slots: list[str] = []
+        for condition in self.conditions:
+            for parameter in condition.parameters:
+                if parameter not in slots:
+                    slots.append(parameter)
+        return slots
+
+    @staticmethod
+    def by_key(parameter: str = "oid") -> "Selector":
+        return Selector([KeyCondition(parameter)])
+
+    @staticmethod
+    def over_role(role: str, parameter: str | None = None) -> "Selector":
+        return Selector([RelationshipCondition(role, parameter)])

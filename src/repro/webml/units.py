@@ -1,0 +1,241 @@
+"""Content units — the building blocks of WebML pages.
+
+The paper's Acer-Euro deployment uses exactly the built-in taxonomy
+implemented here ("the basic WebML units: data, index, multidata,
+multi-choice, scroller, entry", §8), plus the hierarchical index of
+Figure 1.  Every unit declares:
+
+- the ER ``entity`` it publishes (except the entry unit, which is pure
+  data entry),
+- an optional :class:`~repro.webml.selectors.Selector`,
+- its *input slots* (parameters fed by links) and *output slots*
+  (values other links may transport onward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WebMLError
+from repro.webml.selectors import Selector
+
+
+@dataclass
+class ContentUnit:
+    """Base content unit.
+
+    ``display_attributes`` lists the entity attributes rendered by the
+    unit; empty means "all attributes" (resolved at generation time).
+    ``cacheable``/``cache_policy`` implement §6: a unit tagged as cached
+    has its unit bean stored in the business-tier cache and invalidated
+    when operations touch the entities/relationships it depends on.
+    """
+
+    id: str
+    name: str
+    entity: str | None = None
+    selector: Selector | None = None
+    display_attributes: list[str] = field(default_factory=list)
+    cacheable: bool = False
+    cache_policy: str = "model-driven"  # or "ttl:<seconds>"
+    kind: str = "abstract"
+    #: additional dataflow slots, used by §7 plug-in units to declare
+    #: the inputs/outputs their service consumes and produces
+    extra_inputs: list[str] = field(default_factory=list)
+    extra_outputs: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WebMLError("unit name must be non-empty")
+
+    # -- dataflow contract --------------------------------------------------
+
+    @property
+    def input_slots(self) -> list[str]:
+        """Parameters this unit consumes (from its selector by default)."""
+        slots = list(self.selector.parameters) if self.selector else []
+        return slots + [s for s in self.extra_inputs if s not in slots]
+
+    @property
+    def output_slots(self) -> list[str]:
+        """Values this unit can transport over outgoing links."""
+        return ["oid"] + [s for s in self.extra_outputs if s != "oid"]
+
+    @property
+    def depends_on_roles(self) -> list[str]:
+        """Relationship roles the unit's content depends on (for cache
+        invalidation and validation)."""
+        roles = []
+        if self.selector:
+            from repro.webml.selectors import RelationshipCondition
+
+            roles = [
+                c.role
+                for c in self.selector.conditions
+                if isinstance(c, RelationshipCondition)
+            ]
+        return roles
+
+
+@dataclass
+class DataUnit(ContentUnit):
+    """Publishes the attributes of a single object (Figure 1's
+    "Volume data")."""
+
+    kind: str = "data"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.entity is None:
+            raise WebMLError(f"data unit {self.name!r} needs an entity")
+        if self.selector is None:
+            # The implicit WebML behaviour: select by transported oid.
+            self.selector = Selector.by_key()
+
+    @property
+    def output_slots(self) -> list[str]:
+        return ["oid"] + list(self.display_attributes)
+
+
+@dataclass
+class IndexUnit(ContentUnit):
+    """Publishes a list of objects; the user picks one (its oid becomes
+    the output carried by the outgoing normal link)."""
+
+    order_by: list[tuple[str, bool]] = field(default_factory=list)  # (attr, desc)
+    kind: str = "index"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.entity is None:
+            raise WebMLError(f"index unit {self.name!r} needs an entity")
+
+
+@dataclass
+class MultidataUnit(ContentUnit):
+    """Publishes the full attribute set of several objects at once."""
+
+    order_by: list[tuple[str, bool]] = field(default_factory=list)
+    kind: str = "multidata"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.entity is None:
+            raise WebMLError(f"multidata unit {self.name!r} needs an entity")
+
+
+@dataclass
+class MultichoiceIndexUnit(IndexUnit):
+    """An index with checkboxes; outputs the *set* of chosen oids."""
+
+    kind: str = "multichoice"
+
+    @property
+    def output_slots(self) -> list[str]:
+        return ["oids"]
+
+
+@dataclass
+class ScrollerUnit(ContentUnit):
+    """Scrolls over the instances of an entity in blocks, emitting
+    first/previous/next/last navigation (paper §8 lists it among the
+    basic units)."""
+
+    block_size: int = 10
+    order_by: list[tuple[str, bool]] = field(default_factory=list)
+    kind: str = "scroller"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.entity is None:
+            raise WebMLError(f"scroller unit {self.name!r} needs an entity")
+        if self.block_size <= 0:
+            raise WebMLError("scroller block size must be positive")
+
+    @property
+    def input_slots(self) -> list[str]:
+        return super().input_slots + ["block"]
+
+    @property
+    def output_slots(self) -> list[str]:
+        return ["block", "block_count"]
+
+
+@dataclass
+class EntryField:
+    """One form field of an entry unit."""
+
+    name: str
+    field_type: str = "text"  # text | password | hidden | textarea
+    required: bool = False
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.field_type not in ("text", "password", "hidden", "textarea"):
+            raise WebMLError(f"unknown entry field type {self.field_type!r}")
+
+
+@dataclass
+class EntryUnit(ContentUnit):
+    """A data-entry form (Figure 1's "Enter keyword"); outputs one value
+    per field."""
+
+    fields: list[EntryField] = field(default_factory=list)
+    kind: str = "entry"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.entity is not None:
+            raise WebMLError("entry units are not bound to an entity")
+        names = [f.name for f in self.fields]
+        if len(names) != len(set(names)):
+            raise WebMLError(f"entry unit {self.name!r} has duplicate fields")
+
+    @property
+    def input_slots(self) -> list[str]:
+        return []
+
+    @property
+    def output_slots(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+
+@dataclass
+class HierarchyLevel:
+    """One level of a hierarchical index: the entity shown and the role
+    traversed from the parent level's entity (``role`` is None for the
+    root level, whose population comes from the unit selector)."""
+
+    entity: str
+    role: str | None = None
+    display_attributes: list[str] = field(default_factory=list)
+    order_by: list[tuple[str, bool]] = field(default_factory=list)
+
+
+@dataclass
+class HierarchicalIndexUnit(ContentUnit):
+    """Figure 1's "Issues&Papers": a nested index built by traversing
+    relationship roles level by level (``Issue[VolumeToIssue]`` NEST
+    ``Paper[IssueToPaper]``)."""
+
+    levels: list[HierarchyLevel] = field(default_factory=list)
+    kind: str = "hierarchical"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.levels:
+            raise WebMLError(
+                f"hierarchical index {self.name!r} needs at least one level"
+            )
+        self.entity = self.levels[0].entity
+        if self.levels[0].role is not None and self.selector is None:
+            # A rooted role means the unit hangs off a parent object.
+            self.selector = Selector.over_role(self.levels[0].role)
+
+    @property
+    def depends_on_roles(self) -> list[str]:
+        roles = super().depends_on_roles
+        for level in self.levels:
+            if level.role and level.role not in roles:
+                roles.append(level.role)
+        return roles

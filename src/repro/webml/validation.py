@@ -1,0 +1,302 @@
+"""Whole-model structural validation.
+
+The paper's premise is that the WebML specification is *formal* enough
+to derive the implementation from it (§1); validation is what makes
+that safe.  :func:`validate_model` re-checks everything the builder
+API cannot see locally: ER references, selector roles, link endpoint
+compatibility, parameter coverage, and operation outcome links.  All
+problems are collected and reported together in a
+:class:`~repro.errors.ValidationError`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ERModelError, ValidationError
+from repro.webml.links import Link, LinkKind
+from repro.webml.operations import (
+    ConnectUnit,
+    CreateUnit,
+    DeleteUnit,
+    DisconnectUnit,
+    LoginUnit,
+    ModifyUnit,
+    OperationUnit,
+)
+from repro.webml.selectors import (
+    AttributeCondition,
+    KeyCondition,
+    RelationshipCondition,
+)
+from repro.webml.units import ContentUnit, EntryUnit, HierarchicalIndexUnit, ScrollerUnit
+
+
+def validate_model(model) -> None:
+    problems: list[str] = []
+    data_model = model.data_model
+
+    for view in model.site_views:
+        if not view.all_pages():
+            problems.append(f"site view {view.name!r} has no pages")
+
+    for page in model.all_pages():
+        for unit in page.units:
+            _check_unit(model, page, unit, problems)
+
+    for operation in model.all_operations():
+        _check_operation(data_model, operation, problems)
+        outgoing = model.links_from(operation)
+        if not any(l.kind == LinkKind.OK for l in outgoing):
+            problems.append(
+                f"operation {operation.name!r} has no OK link (no success target)"
+            )
+        for link in outgoing:
+            if link.kind not in (LinkKind.OK, LinkKind.KO):
+                problems.append(
+                    f"operation {operation.name!r} has a non-OK/KO outgoing "
+                    f"link ({link.kind.value})"
+                )
+
+    for link in model.links:
+        _check_link(model, link, problems)
+
+    _check_parameter_coverage(model, problems)
+
+    if problems:
+        raise ValidationError(problems)
+
+
+def _check_unit(model, page, unit: ContentUnit, problems: list[str]) -> None:
+    data_model = model.data_model
+    label = f"unit {unit.name!r} (page {page.name!r})"
+    if isinstance(unit, EntryUnit):
+        if not unit.fields:
+            problems.append(f"{label}: entry unit has no fields")
+        return
+    if unit.entity is None:
+        from repro.services.plugins import plugin_registry
+
+        if plugin_registry.get(unit.kind) is not None:
+            return  # §7 plug-in units may be entity-less (e.g. web services)
+        problems.append(f"{label}: content unit without an entity")
+        return
+    if not data_model.has_entity(unit.entity):
+        problems.append(f"{label}: unknown entity {unit.entity!r}")
+        return
+    entity = data_model.entity(unit.entity)
+    for attribute in unit.display_attributes:
+        if attribute != "oid" and not entity.has_attribute(attribute):
+            problems.append(
+                f"{label}: displays unknown attribute {attribute!r} of "
+                f"{unit.entity!r}"
+            )
+    for attribute, _desc in getattr(unit, "order_by", []):
+        if attribute != "oid" and not entity.has_attribute(attribute):
+            problems.append(
+                f"{label}: orders by unknown attribute {attribute!r}"
+            )
+    if unit.selector:
+        _check_selector(data_model, unit, label, problems)
+    if isinstance(unit, HierarchicalIndexUnit):
+        _check_hierarchy(data_model, unit, label, problems)
+
+
+def _check_selector(data_model, unit: ContentUnit, label: str,
+                    problems: list[str]) -> None:
+    entity = data_model.entity(unit.entity)
+    for condition in unit.selector.conditions:
+        if isinstance(condition, AttributeCondition):
+            if not entity.has_attribute(condition.attribute):
+                problems.append(
+                    f"{label}: selector on unknown attribute "
+                    f"{condition.attribute!r}"
+                )
+        elif isinstance(condition, RelationshipCondition):
+            try:
+                _from_entity, to_entity = _role_endpoints(
+                    data_model, condition.role
+                )
+            except ERModelError:
+                problems.append(
+                    f"{label}: selector over unknown role {condition.role!r}"
+                )
+                continue
+            if to_entity != unit.entity:
+                problems.append(
+                    f"{label}: role {condition.role!r} leads to "
+                    f"{to_entity!r}, not to the unit's entity {unit.entity!r}"
+                )
+        elif isinstance(condition, KeyCondition):
+            pass  # always valid on an entity-bound unit
+
+
+def _role_endpoints(data_model, role: str) -> tuple[str, str]:
+    relationship, forward = data_model.resolve_role(role)
+    if forward:
+        return relationship.source, relationship.target
+    return relationship.target, relationship.source
+
+
+def _check_hierarchy(data_model, unit: HierarchicalIndexUnit, label: str,
+                     problems: list[str]) -> None:
+    previous_entity: str | None = None
+    for position, level in enumerate(unit.levels):
+        if not data_model.has_entity(level.entity):
+            problems.append(
+                f"{label}: hierarchy level {position} uses unknown entity "
+                f"{level.entity!r}"
+            )
+            previous_entity = level.entity
+            continue
+        if position > 0:
+            if level.role is None:
+                problems.append(
+                    f"{label}: hierarchy level {position} needs a role to "
+                    "reach it from the previous level"
+                )
+            else:
+                try:
+                    from_entity, to_entity = _role_endpoints(
+                        data_model, level.role
+                    )
+                except ERModelError:
+                    problems.append(
+                        f"{label}: hierarchy level {position} uses unknown "
+                        f"role {level.role!r}"
+                    )
+                    previous_entity = level.entity
+                    continue
+                if from_entity != previous_entity or to_entity != level.entity:
+                    problems.append(
+                        f"{label}: hierarchy level {position} role "
+                        f"{level.role!r} connects {from_entity!r}→{to_entity!r},"
+                        f" expected {previous_entity!r}→{level.entity!r}"
+                    )
+        entity = data_model.entity(level.entity)
+        for attribute in level.display_attributes:
+            if attribute != "oid" and not entity.has_attribute(attribute):
+                problems.append(
+                    f"{label}: hierarchy level {position} displays unknown "
+                    f"attribute {attribute!r}"
+                )
+        previous_entity = level.entity
+
+
+def _check_operation(data_model, operation: OperationUnit,
+                     problems: list[str]) -> None:
+    label = f"operation {operation.name!r}"
+    if isinstance(operation, (CreateUnit, DeleteUnit, ModifyUnit)):
+        if not data_model.has_entity(operation.entity):
+            problems.append(f"{label}: unknown entity {operation.entity!r}")
+            return
+        entity = data_model.entity(operation.entity)
+        for attribute in getattr(operation, "attributes", []):
+            if not entity.has_attribute(attribute):
+                problems.append(
+                    f"{label}: unknown attribute {attribute!r} of "
+                    f"{operation.entity!r}"
+                )
+    elif isinstance(operation, (ConnectUnit, DisconnectUnit)):
+        if not data_model.has_relationship(operation.role):
+            problems.append(f"{label}: unknown relationship role {operation.role!r}")
+    elif isinstance(operation, LoginUnit):
+        if not data_model.has_entity(operation.user_entity):
+            problems.append(
+                f"{label}: unknown user entity {operation.user_entity!r}"
+            )
+        else:
+            entity = data_model.entity(operation.user_entity)
+            for attribute in (operation.username_attribute,
+                              operation.password_attribute):
+                if not entity.has_attribute(attribute):
+                    problems.append(
+                        f"{label}: user entity lacks attribute {attribute!r}"
+                    )
+
+
+def _element_kind(model, element_id: str) -> str:
+    from repro.webml.model import Area, Page, SiteView
+
+    element = model.element(element_id)
+    if isinstance(element, Page):
+        return "page"
+    if isinstance(element, OperationUnit):
+        return "operation"
+    if isinstance(element, ContentUnit):
+        return "unit"
+    if isinstance(element, (SiteView, Area)):
+        return "container"
+    return "other"
+
+
+def _check_link(model, link: Link, problems: list[str]) -> None:
+    source_kind = _element_kind(model, link.source)
+    target_kind = _element_kind(model, link.target)
+    label = f"link {link.id} ({link.kind.value})"
+
+    if link.kind == LinkKind.TRANSPORT:
+        if source_kind != "unit" or target_kind != "unit":
+            problems.append(f"{label}: transport links connect units to units")
+        else:
+            source_page = model.page_of_unit(link.source)
+            target_page = model.page_of_unit(link.target)
+            if source_page.id != target_page.id:
+                problems.append(
+                    f"{label}: transport links stay within one page "
+                    f"({source_page.name!r} → {target_page.name!r})"
+                )
+    elif link.kind in (LinkKind.OK, LinkKind.KO):
+        if source_kind != "operation":
+            problems.append(f"{label}: only operations have OK/KO links")
+        if target_kind not in ("page", "unit", "operation"):
+            problems.append(f"{label}: OK/KO target must be page/unit/operation")
+    elif link.kind in (LinkKind.NORMAL, LinkKind.AUTOMATIC):
+        if source_kind not in ("unit", "page"):
+            problems.append(f"{label}: source must be a unit or page")
+        if target_kind not in ("unit", "page", "operation"):
+            problems.append(f"{label}: target must be a unit, page or operation")
+
+    # Parameter bindings must honour the endpoints' dataflow contracts.
+    source_element = model.element(link.source)
+    target_element = model.element(link.target)
+    for parameter in link.parameters:
+        outputs = getattr(source_element, "output_slots", None)
+        if outputs is not None and parameter.source_output not in outputs:
+            problems.append(
+                f"{label}: source has no output {parameter.source_output!r} "
+                f"(available: {', '.join(outputs) or 'none'})"
+            )
+        inputs = getattr(target_element, "input_slots", None)
+        if inputs is not None and parameter.target_input not in inputs:
+            problems.append(
+                f"{label}: target has no input {parameter.target_input!r} "
+                f"(available: {', '.join(inputs) or 'none'})"
+            )
+
+
+def _check_parameter_coverage(model, problems: list[str]) -> None:
+    """Every unit/operation input slot must be fed by some incoming link."""
+    fed: dict[str, set[str]] = {}
+    for link in model.links:
+        slots = fed.setdefault(link.target, set())
+        for parameter in link.parameters:
+            slots.add(parameter.target_input)
+
+    for page in model.all_pages():
+        for unit in page.units:
+            for slot in unit.input_slots:
+                if isinstance(unit, ScrollerUnit) and slot == "block":
+                    continue  # supplied by the runtime's scroller navigation
+                if slot.startswith("session."):
+                    continue  # supplied by the session (login state, §1)
+                if slot not in fed.get(unit.id, set()):
+                    problems.append(
+                        f"unit {unit.name!r} (page {page.name!r}): input "
+                        f"{slot!r} is never fed by any link"
+                    )
+    for operation in model.all_operations():
+        for slot in operation.input_slots:
+            if slot not in fed.get(operation.id, set()):
+                problems.append(
+                    f"operation {operation.name!r}: input {slot!r} is never "
+                    "fed by any link"
+                )

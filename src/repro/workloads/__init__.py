@@ -1,0 +1,29 @@
+"""Reference applications and workload generators.
+
+- :mod:`repro.workloads.acm` — the paper's Figures 1-2: the ACM Digital
+  Library volume page and the flows around it,
+- :mod:`repro.workloads.bookstore` — a small commerce-style application
+  used by the quickstart example,
+- :mod:`repro.workloads.acer` — the §8 Acer-Euro case at its published
+  scale: 22 site views, 556 pages, 3068 units, >3000 SQL queries,
+- :mod:`repro.workloads.traffic` — a session-based request generator
+  with zipfian page popularity for the serving experiments.
+"""
+
+from repro.workloads.acer import AcerScale, build_acer_model, acer_statistics
+from repro.workloads.acm import build_acm_application, build_acm_model, seed_acm_data
+from repro.workloads.bookstore import build_bookstore_application, build_bookstore_model
+from repro.workloads.traffic import TrafficGenerator, TrafficReport
+
+__all__ = [
+    "build_acm_model",
+    "build_acm_application",
+    "seed_acm_data",
+    "build_bookstore_model",
+    "build_bookstore_application",
+    "AcerScale",
+    "build_acer_model",
+    "acer_statistics",
+    "TrafficGenerator",
+    "TrafficReport",
+]

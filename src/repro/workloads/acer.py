@@ -1,0 +1,344 @@
+"""The Acer-Euro case at its published scale (paper §8).
+
+"The integrated application features 22 site views, 556 page templates,
+and 3068 units, for a total of over 3000 SQL queries."
+
+The original application is proprietary; this generator rebuilds a
+*structurally equivalent* application in the same domain (a corporate
+product-publishing portal for a multi-country organization): B2C site
+views for national customer sites, B2B site views for the distribution
+channel, and internal content-management site views whose pages drive
+create/modify/delete operations.  The generated model validates, hits
+the published structural counts exactly, and runs end to end — the code
+generators, descriptor architecture and presentation pipeline are
+exercised at full Acer-Euro scale by experiments E1-E3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app import WebApplication
+from repro.er import ERModel
+from repro.errors import CodegenError
+from repro.webml import (
+    AttributeCondition,
+    LinkKind,
+    Selector,
+    WebMLModel,
+)
+
+#: the portal's domain entities (attribute lists kept deliberately flat)
+ENTITY_SPECS: list[tuple[str, list[tuple[str, str]]]] = [
+    ("Product", [("name", "VARCHAR(120)"), ("code", "INTEGER"),
+                 ("description", "TEXT"), ("list_price", "FLOAT")]),
+    ("Category", [("name", "VARCHAR(80)"), ("code", "INTEGER"),
+                  ("description", "TEXT")]),
+    ("Accessory", [("name", "VARCHAR(120)"), ("code", "INTEGER"),
+                   ("list_price", "FLOAT")]),
+    ("Specification", [("name", "VARCHAR(80)"), ("value", "VARCHAR(200)")]),
+    ("Document", [("name", "VARCHAR(120)"), ("language", "VARCHAR(20)"),
+                  ("body", "TEXT")]),
+    ("Download", [("name", "VARCHAR(120)"), ("version", "VARCHAR(20)"),
+                  ("size_kb", "INTEGER")]),
+    ("PriceList", [("name", "VARCHAR(80)"), ("currency", "VARCHAR(10)"),
+                   ("valid_from", "DATE")]),
+    ("Promotion", [("name", "VARCHAR(120)"), ("discount", "FLOAT"),
+                   ("description", "TEXT")]),
+    ("Country", [("name", "VARCHAR(60)"), ("code", "INTEGER"),
+                 ("language", "VARCHAR(20)")]),
+    ("Subsidiary", [("name", "VARCHAR(80)"), ("city", "VARCHAR(60)"),
+                    ("staff_count", "INTEGER")]),
+    ("News", [("name", "VARCHAR(160)"), ("body", "TEXT"),
+              ("published", "DATE")]),
+    ("Event", [("name", "VARCHAR(160)"), ("venue", "VARCHAR(80)"),
+               ("scheduled", "DATE")]),
+    ("Dealer", [("name", "VARCHAR(120)"), ("city", "VARCHAR(60)"),
+                ("tier", "INTEGER")]),
+    ("PressRelease", [("name", "VARCHAR(160)"), ("body", "TEXT"),
+                      ("published", "DATE")]),
+    ("SupportCase", [("name", "VARCHAR(160)"), ("status", "VARCHAR(20)"),
+                     ("opened", "DATE")]),
+    ("Customer", [("name", "VARCHAR(120)"), ("city", "VARCHAR(60)"),
+                  ("segment", "VARCHAR(30)")]),
+    ("Manager", [("name", "VARCHAR(80)"), ("role_title", "VARCHAR(60)")]),
+    ("MarketingMaterial", [("name", "VARCHAR(160)"), ("kind", "VARCHAR(40)"),
+                           ("body", "TEXT")]),
+]
+
+#: 1:N and N:M relationships (name, source, target, cardinality)
+RELATIONSHIP_SPECS = [
+    ("CategoryToProduct", "Category", "Product", "1:N"),
+    ("ProductToAccessory", "Product", "Accessory", "1:N"),
+    ("ProductToSpecification", "Product", "Specification", "1:N"),
+    ("ProductToDocument", "Product", "Document", "1:N"),
+    ("ProductToDownload", "Product", "Download", "1:N"),
+    ("CountryToSubsidiary", "Country", "Subsidiary", "1:N"),
+    ("SubsidiaryToNews", "Subsidiary", "News", "1:N"),
+    ("SubsidiaryToEvent", "Subsidiary", "Event", "1:N"),
+    ("SubsidiaryToDealer", "Subsidiary", "Dealer", "1:N"),
+    ("PriceListToPromotion", "PriceList", "Promotion", "1:N"),
+    ("CustomerToSupportCase", "Customer", "SupportCase", "1:N"),
+    ("ManagerToPressRelease", "Manager", "PressRelease", "1:N"),
+    ("PromotionProducts", "Promotion", "Product", "N:M"),
+]
+
+#: entity → (role, child entity): the master-detail pattern each detail
+#: page uses when the entity has dependent content
+CHILD_ROLE: dict[str, tuple[str, str]] = {
+    "Category": ("CategoryToProduct", "Product"),
+    "Product": ("ProductToAccessory", "Accessory"),
+    "Country": ("CountryToSubsidiary", "Subsidiary"),
+    "Subsidiary": ("SubsidiaryToNews", "News"),
+    "Customer": ("CustomerToSupportCase", "SupportCase"),
+    "Manager": ("ManagerToPressRelease", "PressRelease"),
+    "PriceList": ("PriceListToPromotion", "Promotion"),
+    "Promotion": ("PromotionProducts", "Product"),
+}
+
+
+@dataclass(frozen=True)
+class AcerScale:
+    """The §8 structural targets (defaults = the published numbers)."""
+
+    site_views: int = 22
+    pages: int = 556
+    units: int = 3068
+
+    def __post_init__(self) -> None:
+        if self.site_views <= 0 or self.pages < self.site_views:
+            raise CodegenError("need at least one page per site view")
+        # Coarse bound only: pattern pages carry 5-6 units, CM login pages
+        # carry 1.  The builder re-checks exactly once it knows how many
+        # site views are content-management ones.
+        if not (5 * (self.pages - self.site_views) <= self.units
+                <= 6 * self.pages):
+            raise CodegenError(
+                "the page pattern places 5-6 units per page (1 on login "
+                f"pages); {self.units} units is unreachable with "
+                f"{self.pages} pages"
+            )
+
+    def scaled(self, factor: float) -> "AcerScale":
+        """A proportionally smaller (or larger) instance for quick runs."""
+        site_views = max(1, round(self.site_views * factor))
+        pages = max(site_views, round(self.pages * factor))
+        units = min(6 * pages, max(5 * pages, round(self.units * factor)))
+        return AcerScale(site_views=site_views, pages=pages, units=units)
+
+
+def build_acer_data_model() -> ERModel:
+    model = ERModel(name="acer-euro")
+    for name, attributes in ENTITY_SPECS:
+        model.entity(name, [(a, t) for a, t in attributes])
+    model.entity("AppUser", [("username", "VARCHAR(40)", True),
+                             ("password", "VARCHAR(40)", True)])
+    for name, source, target, cardinality in RELATIONSHIP_SPECS:
+        model.relate(name, source, target, cardinality)
+    return model
+
+
+def _site_view_kind(position: int, total: int) -> str:
+    """First ~45% B2C national sites, ~27% B2B channel, rest internal CM
+    (roughly the paper's three stylesheet families)."""
+    if position < round(total * 0.45):
+        return "b2c"
+    if position < round(total * 0.72):
+        return "b2b"
+    return "cm"
+
+
+def build_acer_model(scale: AcerScale | None = None) -> WebMLModel:
+    """Generate the full portal at the requested scale.
+
+    The page/unit budget is exact: CM site views spend one page (and one
+    unit) of their budget on the login page; every other page follows the
+    5-or-6-unit pattern.
+    """
+    scale = scale or AcerScale()
+    model = WebMLModel(build_acer_data_model(), name="acer-euro")
+
+    kinds = [_site_view_kind(p, scale.site_views)
+             for p in range(scale.site_views)]
+    cm_views = sum(1 for kind in kinds if kind == "cm")
+    pattern_pages = scale.pages - cm_views
+    pattern_units = scale.units - cm_views  # login pages hold 1 unit each
+    six_unit_pages = pattern_units - 5 * pattern_pages
+    if not (0 <= six_unit_pages <= pattern_pages):
+        raise CodegenError(
+            f"scale {scale} is unreachable with the 5-6 unit pattern "
+            f"({cm_views} login pages reserved)"
+        )
+
+    pages_per_view = [scale.pages // scale.site_views] * scale.site_views
+    for position in range(scale.pages % scale.site_views):
+        pages_per_view[position] += 1
+
+    entity_names = [name for name, _attrs in ENTITY_SPECS]
+    entity_cursor = 0
+    global_page_index = 0
+
+    for view_position, kind in enumerate(kinds):
+        view = model.site_view(
+            f"{kind}-view-{view_position + 1}",
+            requires_login=(kind == "cm"),
+            user_group={"b2c": "customers", "b2b": "dealers",
+                        "cm": "editors"}[kind],
+        )
+        area = view.area(
+            {"b2c": "Catalog", "b2b": "Channel", "cm": "Content"}[kind]
+        )
+        budget = pages_per_view[view_position]
+        if kind == "cm":
+            _add_cm_login(model, view)
+            budget -= 1
+        for page_position in range(budget):
+            entity = entity_names[entity_cursor % len(entity_names)]
+            entity_cursor += 1
+            units_here = 6 if global_page_index < six_unit_pages else 5
+            container = view if page_position == 0 else area
+            _build_pattern_page(
+                model, view, container, kind, entity,
+                page_position, units_here,
+            )
+            global_page_index += 1
+    return model
+
+
+def _add_cm_login(model: WebMLModel, view) -> None:
+    login_page = view.page("Login")
+    form = login_page.entry_unit(
+        "Credentials",
+        fields=[("username", "text", True), ("password", "password", True)],
+    )
+    login = view.login_op("Login", user_entity="AppUser")
+    model.link(form, login,
+               params=[("username", "username"), ("password", "password")])
+    model.link(login, login_page, kind=LinkKind.KO)
+    # the OK link is wired to the view's first content page afterwards
+    view._pending_login = login  # type: ignore[attr-defined]
+
+
+def _build_pattern_page(model, view, container, kind: str, entity: str,
+                        page_position: int, unit_count: int) -> None:
+    """One page of the repeating pattern (5 or 6 units)."""
+    page = container.page(
+        f"{entity} page {page_position + 1}",
+        home=(page_position == 0),
+        layout_category=("two-columns" if unit_count == 6 else "one-column"),
+    )
+    # wire the CM login OK link to the first real page of the view
+    pending_login = getattr(view, "_pending_login", None)
+    if pending_login is not None:
+        model.link(pending_login, page, kind=LinkKind.OK)
+        view._pending_login = None
+
+    search_field = "name"
+
+    # 1. the entity index
+    index = page.index_unit(
+        f"{entity} list", entity, display_attributes=["name"],
+        order_by=[("name", False)],
+    )
+    # 2. the detail data unit, default-fed by the index selection
+    detail = page.data_unit(f"{entity} detail", entity)
+    model.link(index, detail, kind=LinkKind.TRANSPORT, params=[("oid", "oid")])
+    # 3. related children (master-detail) or a multidata overview
+    if entity in CHILD_ROLE:
+        role, child_entity = CHILD_ROLE[entity]
+        related = page.index_unit(
+            f"{child_entity} of {entity}", child_entity,
+            selector=Selector.over_role(role, "parent"),
+            display_attributes=["name"],
+        )
+        model.link(detail, related, kind=LinkKind.TRANSPORT,
+                   params=[("oid", "parent")])
+    else:
+        page.multidata_unit(f"{entity} overview", entity)
+    # 4. + 5. keyword search over the entity
+    form = page.entry_unit(
+        f"Search {entity}", fields=[(search_field, "text", True)]
+    )
+    hits = page.index_unit(
+        f"{entity} hits", entity,
+        selector=Selector([AttributeCondition(search_field, "like",
+                                              parameter=search_field)]),
+        display_attributes=["name"],
+    )
+    model.link(form, hits, params=[(search_field, search_field)],
+               label="search")
+    # 6. the optional scroller
+    if unit_count == 6:
+        page.scroller_unit(
+            f"All {entity}", entity, block_size=10,
+            display_attributes=["name"], order_by=[("name", False)],
+        )
+
+    if kind == "cm":
+        _add_cm_operations(model, view, page, entity, index, form,
+                           page_position)
+
+
+def _add_cm_operations(model, view, page, entity: str, index, form,
+                       page_position: int) -> None:
+    """Content-management pages drive create/modify/delete operations."""
+    suffix = f"{entity}{page_position + 1}"
+    create = view.create_op(f"Create{suffix}", entity, ["name"])
+    modify = view.modify_op(f"Modify{suffix}", entity, ["name"])
+    delete = view.delete_op(f"Delete{suffix}", entity)
+    model.link(form, create, params=[("name", "name")], label="create")
+    model.link(create, page, kind=LinkKind.OK)
+    model.link(create, page, kind=LinkKind.KO)
+    model.link(index, modify, params=[("oid", "oid")], label="rename")
+    model.link(form, modify, params=[("name", "name")])
+    model.link(modify, page, kind=LinkKind.OK)
+    model.link(modify, page, kind=LinkKind.KO)
+    model.link(index, delete, params=[("oid", "oid")], label="delete")
+    model.link(delete, page, kind=LinkKind.OK)
+    model.link(delete, page, kind=LinkKind.KO)
+
+
+def acer_statistics(model: WebMLModel) -> dict:
+    """The §8 inventory of a generated model."""
+    stats = model.statistics()
+    entry_units = sum(1 for u in model.all_units() if u.kind == "entry")
+    stats["entry_units"] = entry_units
+    return stats
+
+
+def seed_acer_data(app: WebApplication, rows_per_entity: int = 20) -> None:
+    """Populate every entity with synthetic rows (FK roles left open for
+    parentless entities; child entities attach round-robin)."""
+    parent_oids: dict[str, list[int]] = {}
+    parent_role_of: dict[str, tuple[str, str]] = {}
+    for role, source, target, cardinality in RELATIONSHIP_SPECS:
+        if cardinality == "1:N":
+            parent_role_of.setdefault(target, (role, source))
+
+    for entity_name, attributes in ENTITY_SPECS:
+        rows = []
+        for position in range(rows_per_entity):
+            row: dict = {}
+            for attr_name, attr_type in attributes:
+                if attr_type.startswith("VARCHAR") or attr_type == "TEXT":
+                    value = f"{entity_name} {attr_name} {position}"
+                    if attr_type.startswith("VARCHAR"):
+                        from repro.rdb.types import type_from_name
+
+                        value = value[: type_from_name(attr_type).length]
+                    row[attr_name] = value
+                elif attr_type == "INTEGER":
+                    row[attr_name] = position
+                elif attr_type == "FLOAT":
+                    row[attr_name] = 10.0 + position
+                elif attr_type == "DATE":
+                    row[attr_name] = f"2002-{(position % 12) + 1:02d}-01"
+            parent = parent_role_of.get(entity_name)
+            if parent:
+                role, source_entity = parent
+                parents = parent_oids.get(source_entity)
+                if parents:
+                    row[role] = parents[position % len(parents)]
+            rows.append(row)
+        parent_oids[entity_name] = app.seed_entity(entity_name, rows)
+    app.seed_entity("AppUser", [{"username": "editor", "password": "acer"}])

@@ -1,0 +1,198 @@
+"""The ACM Digital Library example (paper Figures 1-2).
+
+The hypertext is Figure 1 verbatim — the Volume Page with its data unit,
+transport link, hierarchical index (``Issue[VolumeToIssue]`` NEST
+``Paper[IssueToPaper]``), and keyword entry unit — plus the pages its
+links point to and a small protected administration site view.
+"""
+
+from __future__ import annotations
+
+from repro.app import WebApplication
+from repro.er import ERModel
+from repro.webml import (
+    AttributeCondition,
+    HierarchyLevel,
+    LinkKind,
+    Selector,
+    WebMLModel,
+)
+
+
+def build_acm_data_model() -> ERModel:
+    model = ERModel(name="acm")
+    model.entity("Volume", [("number", "INTEGER", True), ("year", "INTEGER"),
+                            ("title", "VARCHAR(120)")])
+    model.entity("Issue", [("number", "INTEGER"), ("month", "VARCHAR(20)")])
+    model.entity("Paper", [("title", "VARCHAR(200)", True),
+                           ("abstract", "TEXT"), ("pages", "INTEGER")])
+    model.entity("Author", [("name", "VARCHAR(80)", True)])
+    model.entity("User", [("username", "VARCHAR(40)", True),
+                          ("password", "VARCHAR(40)", True)])
+    model.relate("VolumeToIssue", "Volume", "Issue", "1:N",
+                 inverse_name="IssueToVolume")
+    model.relate("IssueToPaper", "Issue", "Paper", "1:N",
+                 inverse_name="PaperToIssue")
+    model.relate("Authorship", "Paper", "Author", "N:M",
+                 inverse_name="AuthorOf")
+    return model
+
+
+def build_acm_model() -> WebMLModel:
+    """Figure 1's Volume Page plus list/detail/search/admin flows."""
+    model = WebMLModel(build_acm_data_model(), name="acm-dl")
+    view = model.site_view("public")
+
+    volumes = view.page("Volumes", home=True, landmark=True)
+    volume_index = volumes.index_unit(
+        "All volumes", "Volume",
+        display_attributes=["number", "year"],
+        order_by=[("year", False)],
+    )
+
+    volume_page = view.page("Volume Page")
+    volume_data = volume_page.data_unit(
+        "Volume data", "Volume",
+        display_attributes=["number", "year", "title"],
+    )
+    issues_papers = volume_page.hierarchical_index(
+        "Issues&Papers",
+        levels=[
+            HierarchyLevel("Issue", role="VolumeToIssue",
+                           display_attributes=["number"]),
+            HierarchyLevel("Paper", role="IssueToPaper",
+                           display_attributes=["title"]),
+        ],
+    )
+    keyword_entry = volume_page.entry_unit(
+        "Enter keyword", fields=[("keyword", "text", True)]
+    )
+
+    paper_page = view.page("Paper details")
+    paper_data = paper_page.data_unit("Paper data", "Paper")
+    authors = paper_page.index_unit(
+        "Authors", "Author",
+        selector=Selector.over_role("Authorship", "paper"),
+        display_attributes=["name"],
+    )
+
+    search_page = view.page("SearchResults")
+    matching = search_page.index_unit(
+        "Matching papers", "Paper",
+        selector=Selector([AttributeCondition("title", "like",
+                                              parameter="keyword")]),
+        display_attributes=["title"],
+    )
+
+    browse_page = view.page("Browse papers", landmark=True)
+    browse_page.scroller_unit(
+        "Paper scroller", "Paper", block_size=2,
+        display_attributes=["title"], order_by=[("title", False)],
+    )
+
+    model.link(volume_index, volume_data, params=[("oid", "oid")],
+               label="volume details")
+    model.link(volume_data, issues_papers, kind=LinkKind.TRANSPORT,
+               params=[("oid", "volume_to_issue")])
+    model.link(issues_papers, paper_data, params=[("oid", "oid")],
+               label="paper details")
+    model.link(paper_data, authors, kind=LinkKind.TRANSPORT,
+               params=[("oid", "paper")])
+    model.link(keyword_entry, matching, params=[("keyword", "keyword")],
+               label="search")
+    model.link(matching, paper_data, params=[("oid", "oid")])
+
+    _add_admin_site_view(model)
+    return model
+
+
+def _add_admin_site_view(model: WebMLModel) -> None:
+    admin = model.site_view("admin", requires_login=True)
+    admin_home = admin.page("Admin Home", home=True)
+    paper_list = admin_home.index_unit(
+        "All papers", "Paper", display_attributes=["title"]
+    )
+    new_paper = admin_home.entry_unit(
+        "New paper", fields=[("title", "text", True), ("pages", "text")]
+    )
+    login_page = admin.page("Login")
+    login_form = login_page.entry_unit(
+        "Credentials",
+        fields=[("username", "text", True), ("password", "password", True)],
+    )
+
+    create_paper = admin.create_op("CreatePaper", "Paper", ["title", "pages"])
+    delete_paper = admin.delete_op("DeletePaper", "Paper")
+    login = admin.login_op("Login")
+    logout = admin.logout_op("Logout")
+
+    model.link(new_paper, create_paper,
+               params=[("title", "title"), ("pages", "pages")])
+    model.link(create_paper, admin_home, kind=LinkKind.OK)
+    model.link(create_paper, admin_home, kind=LinkKind.KO)
+    model.link(paper_list, delete_paper, params=[("oid", "oid")],
+               label="delete")
+    model.link(delete_paper, admin_home, kind=LinkKind.OK)
+    model.link(delete_paper, admin_home, kind=LinkKind.KO)
+    model.link(login_form, login,
+               params=[("username", "username"), ("password", "password")])
+    model.link(login, admin_home, kind=LinkKind.OK)
+    model.link(login, login_page, kind=LinkKind.KO)
+    model.link(admin_home, logout)
+    model.link(logout, login_page, kind=LinkKind.OK)
+
+
+def seed_acm_data(app: WebApplication, volumes: int = 2,
+                  issues_per_volume: int = 2,
+                  papers_per_issue: int = 2) -> dict:
+    """Seed TODS-flavoured content; returns the oids by entity.
+
+    The default (2/2/2) matches the hand-written fixtures; larger values
+    scale the dataset for serving benchmarks.
+    """
+    oids: dict = {"volumes": [], "issues": [], "papers": [], "authors": []}
+    paper_counter = 0
+    for volume_number in range(volumes):
+        [volume_oid] = app.seed_entity("Volume", [{
+            "number": 27 + volume_number,
+            "year": 2002 + volume_number,
+            "title": f"TODS Volume {27 + volume_number}",
+        }])
+        oids["volumes"].append(volume_oid)
+        for issue_number in range(issues_per_volume):
+            [issue_oid] = app.seed_entity("Issue", [{
+                "number": issue_number + 1,
+                "month": ("March", "June", "September", "December")[
+                    issue_number % 4],
+                "VolumeToIssue": volume_oid,
+            }])
+            oids["issues"].append(issue_oid)
+            for _ in range(papers_per_issue):
+                paper_counter += 1
+                [paper_oid] = app.seed_entity("Paper", [{
+                    "title": f"Paper {paper_counter}: Data-Intensive Webs",
+                    "pages": 10 + paper_counter % 30,
+                    "IssueToPaper": issue_oid,
+                }])
+                oids["papers"].append(paper_oid)
+    oids["authors"] = app.seed_entity("Author", [
+        {"name": "S. Ceri"}, {"name": "P. Fraternali"},
+    ])
+    if oids["papers"]:
+        app.connect_instances("Authorship", oids["papers"][-1],
+                              oids["authors"][0])
+        app.connect_instances("Authorship", oids["papers"][-1],
+                              oids["authors"][1])
+    app.seed_entity("User", [{"username": "admin", "password": "secret"}])
+    return oids
+
+
+def build_acm_application(view_renderer=None, bean_cache=None,
+                          **seed_kwargs) -> tuple[WebApplication, dict]:
+    """Build, deploy and seed the ACM application in one call."""
+    app = WebApplication(build_acm_model(), view_renderer=view_renderer,
+                         bean_cache=bean_cache)
+    oids = seed_acm_data(app, **seed_kwargs)
+    app.ctx.stats.reset()
+    app.database.stats.reset()
+    return app, oids

@@ -1,0 +1,95 @@
+"""Session-based traffic generation for the serving experiments.
+
+Drives a :class:`~repro.app.Browser` through an application with
+zipf-distributed page popularity — the skew that makes caches pay off —
+and reports what happened.  Determinism comes from the explicit seed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrafficReport:
+    requests: int = 0
+    ok_responses: int = 0
+    errors: int = 0
+    elapsed_seconds: float = 0.0
+    queries_executed: int = 0
+    status_counts: dict = field(default_factory=dict)
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.requests / self.elapsed_seconds
+
+
+class TrafficGenerator:
+    """Replays synthetic user sessions against an application.
+
+    ``url_pool`` is the set of concrete URLs users visit; popularity is
+    zipfian over the pool's order (first = most popular).
+    """
+
+    def __init__(self, app, url_pool: list[str], seed: int = 2003,
+                 zipf_skew: float = 1.0, user_agent: str = "Mozilla/5.0"):
+        if not url_pool:
+            raise ValueError("traffic needs at least one URL")
+        self.app = app
+        self.url_pool = list(url_pool)
+        self.random = random.Random(seed)
+        self.user_agent = user_agent
+        weights = [1.0 / (rank + 1) ** zipf_skew
+                   for rank in range(len(self.url_pool))]
+        total = sum(weights)
+        self.weights = [w / total for w in weights]
+
+    def pick_url(self) -> str:
+        return self.random.choices(self.url_pool, weights=self.weights, k=1)[0]
+
+    def run(self, requests: int, sessions: int = 4) -> TrafficReport:
+        """Issue ``requests`` GETs spread over ``sessions`` browsers."""
+        from repro.app import Browser
+
+        browsers = [
+            Browser(self.app, user_agent=self.user_agent)
+            for _ in range(max(1, sessions))
+        ]
+        report = TrafficReport()
+        queries_before = self.app.ctx.stats.queries_executed
+        started = time.perf_counter()
+        for position in range(requests):
+            browser = browsers[position % len(browsers)]
+            response = browser.get(self.pick_url())
+            report.requests += 1
+            report.status_counts[response.status] = (
+                report.status_counts.get(response.status, 0) + 1
+            )
+            if response.status == 200:
+                report.ok_responses += 1
+            else:
+                report.errors += 1
+        report.elapsed_seconds = time.perf_counter() - started
+        report.queries_executed = (
+            self.app.ctx.stats.queries_executed - queries_before
+        )
+        return report
+
+
+def page_url_pool(app, site_view_name: str,
+                  detail_params: dict | None = None) -> list[str]:
+    """Concrete URLs for every page of a site view.
+
+    ``detail_params`` maps page names to parameter dicts for pages that
+    need an object selection to show content.
+    """
+    view = app.model.find_site_view(site_view_name)
+    pool = []
+    for page in view.all_pages():
+        params = (detail_params or {}).get(page.name)
+        pool.append(app.page_url(site_view_name, page.name, params))
+    return pool

@@ -1,0 +1,178 @@
+"""XML node tree.
+
+Two concrete node kinds — :class:`Element` and :class:`Text` — are enough
+for descriptors and page templates.  Elements own an ordered attribute
+mapping and an ordered list of children; every node knows its parent so
+the rule engine can replace nodes in place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import XmlError
+
+
+class Node:
+    """Common base of tree nodes; tracks the owning parent element."""
+
+    def __init__(self) -> None:
+        self.parent: Element | None = None
+
+    def detach(self) -> "Node":
+        """Remove this node from its parent (no-op if already a root)."""
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
+        return self
+
+    def root(self) -> "Node":
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+
+class Text(Node):
+    """A run of character data."""
+
+    def __init__(self, value: str):
+        super().__init__()
+        self.value = value
+
+    def copy(self) -> "Text":
+        return Text(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Text({self.value!r})"
+
+
+class Element(Node):
+    """An XML element with ordered attributes and children.
+
+    ``tag`` may carry a namespace-style prefix (``webml:dataUnit``); the
+    prefix is kept verbatim — this library does not implement namespace
+    resolution because descriptors and templates use fixed prefixes.
+    """
+
+    def __init__(self, tag: str, attrs: dict[str, str] | None = None):
+        super().__init__()
+        if not tag:
+            raise XmlError("element tag must be non-empty")
+        self.tag = tag
+        self.attrs: dict[str, str] = dict(attrs or {})
+        self.children: list[Node] = []
+
+    # -- construction -----------------------------------------------------
+
+    def append(self, node: Node) -> Node:
+        """Attach ``node`` as the last child and return it."""
+        node.detach()
+        node.parent = self
+        self.children.append(node)
+        return node
+
+    def insert(self, index: int, node: Node) -> Node:
+        node.detach()
+        node.parent = self
+        self.children.insert(index, node)
+        return node
+
+    def add(self, tag: str, attrs: dict[str, str] | None = None,
+            text: str | None = None) -> "Element":
+        """Convenience: create and append a child element.
+
+        >>> root = Element("page")
+        >>> root.add("unit", {"id": "u1"}, text="hello").tag
+        'unit'
+        """
+        child = Element(tag, attrs)
+        if text is not None:
+            child.append(Text(text))
+        self.append(child)
+        return child
+
+    def add_text(self, value: str) -> Text:
+        text = Text(value)
+        self.append(text)
+        return text
+
+    def replace_with(self, replacement: Node) -> None:
+        """Swap this element for ``replacement`` in the parent's child list."""
+        if self.parent is None:
+            raise XmlError("cannot replace the root node in place")
+        parent = self.parent
+        index = parent.children.index(self)
+        self.detach()
+        replacement.detach()
+        replacement.parent = parent
+        parent.children.insert(index, replacement)
+
+    def copy(self) -> "Element":
+        """Deep copy, detached from any parent."""
+        clone = Element(self.tag, dict(self.attrs))
+        for child in self.children:
+            clone.append(child.copy())  # type: ignore[attr-defined]
+        return clone
+
+    # -- navigation -------------------------------------------------------
+
+    def element_children(self) -> list["Element"]:
+        return [c for c in self.children if isinstance(c, Element)]
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first pre-order iteration over this element and descendants."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter()
+
+    def find(self, tag: str) -> "Element | None":
+        """First direct child element with the given tag, or None."""
+        for child in self.element_children():
+            if child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> list["Element"]:
+        """All direct child elements with the given tag."""
+        return [c for c in self.element_children() if c.tag == tag]
+
+    def descendants(self, tag: str) -> list["Element"]:
+        """All descendant elements (not self) with the given tag, pre-order."""
+        return [e for e in self.iter() if e is not self and e.tag == tag]
+
+    def required(self, tag: str) -> "Element":
+        """Like :meth:`find` but raises :class:`XmlError` when missing."""
+        child = self.find(tag)
+        if child is None:
+            raise XmlError(f"<{self.tag}> is missing required child <{tag}>")
+        return child
+
+    # -- content ----------------------------------------------------------
+
+    def text(self) -> str:
+        """Concatenated character data of this element and its descendants."""
+        parts: list[str] = []
+        for child in self.children:
+            if isinstance(child, Text):
+                parts.append(child.value)
+            elif isinstance(child, Element):
+                parts.append(child.text())
+        return "".join(parts)
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        return self.attrs.get(name, default)
+
+    def require_attr(self, name: str) -> str:
+        try:
+            return self.attrs[name]
+        except KeyError:
+            raise XmlError(f"<{self.tag}> is missing required attribute {name!r}") from None
+
+    def set(self, name: str, value: str) -> "Element":
+        self.attrs[name] = value
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Element({self.tag!r}, attrs={self.attrs!r}, children={len(self.children)})"

@@ -1,0 +1,208 @@
+"""A strict, dependency-free XML parser.
+
+Supports the subset descriptors and templates actually use: elements,
+attributes (single- or double-quoted), character data, the five standard
+entities plus numeric character references, comments, CDATA sections, and
+an optional XML declaration / processing instructions (skipped).  DTDs
+are not supported — descriptors are schema-validated by their loaders
+instead.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlParseError
+from repro.xmlkit.node import Element, Text
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Scanner:
+    """Character cursor with line/column tracking for error reporting."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+
+    def location(self, pos: int | None = None) -> tuple[int, int]:
+        pos = self.pos if pos is None else pos
+        consumed = self.source[:pos]
+        line = consumed.count("\n") + 1
+        column = pos - (consumed.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message: str) -> XmlParseError:
+        line, column = self.location()
+        return XmlParseError(message, line, column)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def peek(self, count: int = 1) -> str:
+        return self.source[self.pos : self.pos + count]
+
+    def take(self, count: int = 1) -> str:
+        chunk = self.source[self.pos : self.pos + count]
+        self.pos += len(chunk)
+        return chunk
+
+    def expect(self, literal: str) -> None:
+        if not self.source.startswith(literal, self.pos):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def skip_whitespace(self) -> None:
+        while not self.at_end() and self.source[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def take_until(self, literal: str, what: str) -> str:
+        end = self.source.find(literal, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {what}")
+        chunk = self.source[self.pos : end]
+        self.pos = end + len(literal)
+        return chunk
+
+    def take_name(self) -> str:
+        start = self.pos
+        if self.at_end() or self.source[self.pos] not in _NAME_START:
+            raise self.error("expected a name")
+        self.pos += 1
+        while not self.at_end() and self.source[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return self.source[start : self.pos]
+
+
+def _decode_entities(raw: str, scanner: _Scanner) -> str:
+    """Expand &name; and &#N;/&#xN; references in character data."""
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end < 0:
+            raise scanner.error("unterminated entity reference")
+        name = raw[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _ENTITIES:
+            out.append(_ENTITIES[name])
+        else:
+            raise scanner.error(f"unknown entity &{name};")
+        i = end + 1
+    return "".join(out)
+
+
+def _parse_attributes(scanner: _Scanner) -> dict[str, str]:
+    attrs: dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        nxt = scanner.peek()
+        if nxt in (">", "/", "?", ""):
+            return attrs
+        name = scanner.take_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.take()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        value = scanner.take_until(quote, "attribute value")
+        if name in attrs:
+            raise scanner.error(f"duplicate attribute {name!r}")
+        attrs[name] = _decode_entities(value, scanner)
+
+
+def _skip_misc(scanner: _Scanner) -> None:
+    """Skip whitespace, comments, PIs and the XML declaration."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.peek(4) == "<!--":
+            scanner.take(4)
+            scanner.take_until("-->", "comment")
+        elif scanner.peek(2) == "<?":
+            scanner.take(2)
+            scanner.take_until("?>", "processing instruction")
+        elif scanner.peek(9) == "<!DOCTYPE":
+            raise scanner.error("DOCTYPE declarations are not supported")
+        else:
+            return
+
+
+def _parse_element(scanner: _Scanner) -> Element:
+    scanner.expect("<")
+    tag = scanner.take_name()
+    attrs = _parse_attributes(scanner)
+    scanner.skip_whitespace()
+    if scanner.peek(2) == "/>":
+        scanner.take(2)
+        return Element(tag, attrs)
+    scanner.expect(">")
+    element = Element(tag, attrs)
+    _parse_content(scanner, element)
+    # _parse_content stops right after consuming "</"
+    closing = scanner.take_name()
+    if closing != tag:
+        raise scanner.error(f"mismatched end tag </{closing}> for <{tag}>")
+    scanner.skip_whitespace()
+    scanner.expect(">")
+    return element
+
+
+def _parse_content(scanner: _Scanner, parent: Element) -> None:
+    text_start = scanner.pos
+    while True:
+        if scanner.at_end():
+            raise scanner.error(f"unterminated element <{parent.tag}>")
+        ch = scanner.source[scanner.pos]
+        if ch != "<":
+            scanner.pos += 1
+            continue
+        # Flush pending character data.
+        raw = scanner.source[text_start : scanner.pos]
+        if raw:
+            decoded = _decode_entities(raw, scanner)
+            if decoded:
+                parent.append(Text(decoded))
+        if scanner.peek(2) == "</":
+            scanner.take(2)
+            return
+        if scanner.peek(4) == "<!--":
+            scanner.take(4)
+            scanner.take_until("-->", "comment")
+        elif scanner.peek(9) == "<![CDATA[":
+            scanner.take(9)
+            parent.append(Text(scanner.take_until("]]>", "CDATA section")))
+        elif scanner.peek(2) == "<?":
+            scanner.take(2)
+            scanner.take_until("?>", "processing instruction")
+        else:
+            parent.append(_parse_element(scanner))
+        text_start = scanner.pos
+
+
+def parse_xml(source: str) -> Element:
+    """Parse an XML document and return its root element.
+
+    Raises :class:`~repro.errors.XmlParseError` with line/column on any
+    malformation, including trailing garbage after the root element.
+    """
+    scanner = _Scanner(source)
+    _skip_misc(scanner)
+    if scanner.peek() != "<":
+        raise scanner.error("document must start with an element")
+    root = _parse_element(scanner)
+    _skip_misc(scanner)
+    if not scanner.at_end():
+        raise scanner.error("content after the root element")
+    return root

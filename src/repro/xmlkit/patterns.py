@@ -1,0 +1,137 @@
+"""Node-selection patterns for the presentation rule engine.
+
+XSLT rules in the paper "match the outermost part of the skeleton's
+layout" (page rules) or "match a class of units" (unit rules).  We model
+that with a small pattern language over element trees:
+
+- ``tag``                 — any element with that tag,
+- ``*``                   — any element,
+- ``a/b``                 — ``b`` whose direct parent matches ``a``,
+- ``a//b``                — ``b`` with an ancestor matching ``a``,
+- ``tag[@name]``          — requires attribute ``name`` to be present,
+- ``tag[@name='value']``  — requires attribute equality,
+- ``/tag``                — anchors the (final) match at the tree root.
+
+Patterns match *bottom-up* like XSLT match patterns: the last step is
+tested against the candidate node, earlier steps against its ancestry.
+Specificity (for conflict resolution among rules) counts steps and
+predicates, mirroring XSLT's default-priority spirit.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import RuleError
+from repro.xmlkit.node import Element
+
+_PREDICATE = re.compile(r"\[@([A-Za-z_:][\w:.-]*)\s*(?:=\s*'([^']*)')?\]")
+_STEP = re.compile(r"^([A-Za-z_:*][\w:.*-]*)")
+
+
+@dataclass(frozen=True)
+class _Step:
+    tag: str  # '*' means any
+    predicates: tuple[tuple[str, str | None], ...] = ()
+
+    def matches(self, element: Element) -> bool:
+        if self.tag != "*" and element.tag != self.tag:
+            return False
+        for name, value in self.predicates:
+            if name not in element.attrs:
+                return False
+            if value is not None and element.attrs[name] != value:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A compiled match pattern; use :func:`compile_pattern` to build one."""
+
+    source: str
+    steps: tuple[_Step, ...]
+    # separators[i] is the axis between steps[i] and steps[i+1]:
+    # '/' = parent, '//' = ancestor.
+    separators: tuple[str, ...] = ()
+    rooted: bool = False
+
+    def matches(self, element: Element) -> bool:
+        """True when ``element`` satisfies the final step and its ancestry
+        satisfies the earlier steps along the declared axes."""
+        return self._match_from(element, len(self.steps) - 1)
+
+    def _match_from(self, element: Element | None, step_index: int) -> bool:
+        if element is None or not self.steps[step_index].matches(element):
+            return False
+        if step_index == 0:
+            return not self.rooted or element.parent is None
+        axis = self.separators[step_index - 1]
+        if axis == "/":
+            return self._match_from(element.parent, step_index - 1)
+        ancestor = element.parent
+        while ancestor is not None:
+            if self._match_from(ancestor, step_index - 1):
+                return True
+            ancestor = ancestor.parent
+        return False
+
+    @property
+    def specificity(self) -> int:
+        """Higher wins when several rules match the same node."""
+        score = 0
+        for step in self.steps:
+            score += 1 if step.tag == "*" else 10
+            score += 5 * len(step.predicates)
+        score += len(self.steps)  # longer paths are more specific
+        return score
+
+
+def compile_pattern(source: str) -> Pattern:
+    """Parse the pattern mini-language; raises RuleError on bad syntax."""
+    text = source.strip()
+    if not text:
+        raise RuleError("empty pattern")
+    rooted = False
+    if text.startswith("//"):
+        text = text[2:]
+    elif text.startswith("/"):
+        rooted = True
+        text = text[1:]
+
+    steps: list[_Step] = []
+    separators: list[str] = []
+    while True:
+        match = _STEP.match(text)
+        if not match:
+            raise RuleError(f"bad pattern step at {text!r} in {source!r}")
+        tag = match.group(1)
+        if "*" in tag and tag != "*":
+            raise RuleError(f"wildcard must stand alone in {source!r}")
+        text = text[match.end():]
+        predicates: list[tuple[str, str | None]] = []
+        while text.startswith("["):
+            pmatch = _PREDICATE.match(text)
+            if not pmatch:
+                raise RuleError(f"bad predicate at {text!r} in {source!r}")
+            predicates.append((pmatch.group(1), pmatch.group(2)))
+            text = text[pmatch.end():]
+        steps.append(_Step(tag, tuple(predicates)))
+        if not text:
+            break
+        if text.startswith("//"):
+            separators.append("//")
+            text = text[2:]
+        elif text.startswith("/"):
+            separators.append("/")
+            text = text[1:]
+        else:
+            raise RuleError(f"unexpected {text!r} in pattern {source!r}")
+
+    return Pattern(
+        source=source,
+        steps=tuple(steps),
+        separators=tuple(separators),
+        rooted=rooted,
+    )

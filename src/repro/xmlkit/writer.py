@@ -1,0 +1,74 @@
+"""XML serialization.
+
+Two renderings are provided: :func:`serialize` produces compact,
+whitespace-faithful output (used for page templates, where whitespace is
+part of the HTML), and :func:`pretty_print` produces indented output
+(used for descriptor files, which humans edit to override queries).
+"""
+
+from __future__ import annotations
+
+from repro.xmlkit.node import Element, Node, Text
+
+
+def escape_text(value: str) -> str:
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attr(value: str) -> str:
+    return escape_text(value).replace('"', "&quot;")
+
+
+def _open_tag(element: Element, self_close: bool) -> str:
+    parts = [element.tag]
+    parts.extend(f'{name}="{escape_attr(value)}"' for name, value in element.attrs.items())
+    slash = "/" if self_close else ""
+    return f"<{' '.join(parts)}{slash}>"
+
+
+def serialize(node: Node) -> str:
+    """Compact serialization preserving all character data verbatim."""
+    if isinstance(node, Text):
+        return escape_text(node.value)
+    assert isinstance(node, Element)
+    if not node.children:
+        return _open_tag(node, self_close=True)
+    inner = "".join(serialize(child) for child in node.children)
+    return f"{_open_tag(node, self_close=False)}{inner}</{node.tag}>"
+
+
+def pretty_print(node: Node, indent: str = "  ") -> str:
+    """Indented serialization for human-edited files (descriptors).
+
+    Whitespace-only text nodes are dropped; other text is emitted inline
+    when it is an element's only child, otherwise on its own line.
+    """
+    lines: list[str] = []
+    _pretty(node, 0, indent, lines)
+    return "\n".join(lines) + "\n"
+
+
+def _pretty(node: Node, depth: int, indent: str, lines: list[str]) -> None:
+    pad = indent * depth
+    if isinstance(node, Text):
+        if node.value.strip():
+            lines.append(pad + escape_text(node.value.strip()))
+        return
+    assert isinstance(node, Element)
+    children = [
+        c for c in node.children
+        if not (isinstance(c, Text) and not c.value.strip())
+    ]
+    if not children:
+        lines.append(pad + _open_tag(node, self_close=True))
+        return
+    if len(children) == 1 and isinstance(children[0], Text):
+        text = escape_text(children[0].value.strip())
+        lines.append(
+            f"{pad}{_open_tag(node, self_close=False)}{text}</{node.tag}>"
+        )
+        return
+    lines.append(pad + _open_tag(node, self_close=False))
+    for child in children:
+        _pretty(child, depth + 1, indent, lines)
+    lines.append(f"{pad}</{node.tag}>")

@@ -1,0 +1,194 @@
+"""Tests for the application-server tier (§4): the adaptive component
+container versus the statically cloned servlet tier."""
+
+import pytest
+
+from repro.appserver import (
+    ComponentContainer,
+    ComponentDescriptor,
+    ServletTierDeployment,
+)
+from repro.errors import ContainerError
+from repro.util import VirtualClock
+
+
+class EchoService:
+    """A trivially observable business component."""
+
+    created = 0
+
+    def __init__(self):
+        EchoService.created += 1
+
+    def ping(self, value):
+        return f"pong:{value}"
+
+
+@pytest.fixture(autouse=True)
+def _reset_counter():
+    EchoService.created = 0
+
+
+def make_container(clock=None, **overrides) -> ComponentContainer:
+    container = ComponentContainer(clock=clock or VirtualClock())
+    container.deploy(ComponentDescriptor(
+        name="page-service", factory=EchoService,
+        min_instances=overrides.pop("min_instances", 1),
+        max_instances=overrides.pop("max_instances", 4),
+        idle_timeout=overrides.pop("idle_timeout", 10.0),
+    ))
+    return container
+
+
+class TestDescriptorValidation:
+    def test_bad_values_rejected(self):
+        with pytest.raises(ContainerError):
+            ComponentDescriptor("x", EchoService, min_instances=-1)
+        with pytest.raises(ContainerError):
+            ComponentDescriptor("x", EchoService, min_instances=3,
+                                max_instances=2)
+        with pytest.raises(ContainerError):
+            ComponentDescriptor("x", EchoService, idle_timeout=0)
+
+
+class TestComponentContainer:
+    def test_min_instances_created_eagerly(self):
+        container = make_container(min_instances=2)
+        assert container.resident_instances("page-service") == 2
+        assert EchoService.created == 2
+
+    def test_invoke_reuses_pooled_instance(self):
+        container = make_container()
+        assert container.invoke("page-service", "ping", 1) == "pong:1"
+        assert container.invoke("page-service", "ping", 2) == "pong:2"
+        assert EchoService.created == 1  # the min instance served both
+        assert container.invocations == 2
+
+    def test_unknown_component_rejected(self):
+        container = make_container()
+        with pytest.raises(ContainerError, match="no component"):
+            container.invoke("ghost", "ping")
+
+    def test_duplicate_deploy_rejected(self):
+        container = make_container()
+        with pytest.raises(ContainerError, match="already deployed"):
+            container.deploy(ComponentDescriptor("page-service", EchoService))
+
+    def test_pool_grows_under_concurrency(self):
+        container = make_container(min_instances=1, max_instances=3)
+        pool = container._pool("page-service")
+        first = container._acquire(pool)
+        second = container._acquire(pool)
+        third = container._acquire(pool)
+        assert container.resident_instances("page-service") == 3
+        with pytest.raises(ContainerError, match="max instances"):
+            container._acquire(pool)
+        for instance in (first, second, third):
+            container._release(pool, instance)
+        assert container.pool_stats("page-service")["peak_resident"] == 3
+
+    def test_sweep_passivates_idle_down_to_min(self):
+        clock = VirtualClock()
+        container = make_container(clock=clock, min_instances=1,
+                                   max_instances=8, idle_timeout=5.0)
+        pool = container._pool("page-service")
+        held = [container._acquire(pool) for _ in range(5)]
+        for instance in held:
+            container._release(pool, instance)
+        assert container.resident_instances("page-service") == 5
+        assert container.sweep() == 0  # nothing idle long enough yet
+        clock.advance(6)
+        passivated = container.sweep()
+        assert passivated == 4
+        assert container.resident_instances("page-service") == 1
+        stats = container.pool_stats("page-service")
+        assert stats["passivated_total"] == 4
+
+    def test_sweep_respects_recent_use(self):
+        clock = VirtualClock()
+        container = make_container(clock=clock, min_instances=0,
+                                   max_instances=8, idle_timeout=5.0)
+        pool = container._pool("page-service")
+        stale = container._acquire(pool)
+        fresh = container._acquire(pool)
+        container._release(pool, stale)
+        clock.advance(4)
+        container._release(pool, fresh)  # used recently
+        clock.advance(2)  # stale idle 6s, fresh idle 2s
+        assert container.sweep() == 1
+        assert container.resident_instances("page-service") == 1
+
+    def test_shared_by_non_web_clients(self):
+        """§4: the business tier is callable by any application."""
+        container = make_container()
+
+        def batch_job():
+            return [container.invoke("page-service", "ping", i)
+                    for i in range(3)]
+
+        assert batch_job() == ["pong:0", "pong:1", "pong:2"]
+
+    def test_undeploy(self):
+        container = make_container()
+        container.undeploy("page-service")
+        assert container.deployed() == []
+
+
+class TestServletTier:
+    def test_every_clone_gets_every_service(self):
+        tier = ServletTierDeployment(clone_count=3)
+        tier.deploy("page-service", EchoService)
+        tier.deploy("unit-service", EchoService)
+        assert tier.resident_instances() == 6
+        assert EchoService.created == 6
+
+    def test_instances_never_released(self):
+        tier = ServletTierDeployment(clone_count=2)
+        tier.deploy("page-service", EchoService)
+        before = tier.resident_instances()
+        assert tier.sweep() == 0
+        assert tier.resident_instances() == before
+
+    def test_round_robin_invocation(self):
+        tier = ServletTierDeployment(clone_count=2)
+        tier.deploy("page-service", EchoService)
+        assert tier.invoke("page-service", "ping", "a") == "pong:a"
+        assert tier.invoke("page-service", "ping", "b") == "pong:b"
+        assert tier.invocations == 2
+
+    def test_validation(self):
+        with pytest.raises(ContainerError):
+            ServletTierDeployment(clone_count=0)
+        tier = ServletTierDeployment(clone_count=1)
+        tier.deploy("s", EchoService)
+        with pytest.raises(ContainerError, match="already deployed"):
+            tier.deploy("s", EchoService)
+        with pytest.raises(ContainerError, match="no service"):
+            tier.invoke("ghost", "ping")
+
+
+class TestAdaptiveVersusStatic:
+    def test_idle_resource_occupancy_differs(self):
+        """The §4 claim in one test: after traffic drops, the adaptive
+        container releases memory, the static clones cannot."""
+        clock = VirtualClock()
+        container = ComponentContainer(clock=clock)
+        tier = ServletTierDeployment(clone_count=4, instances_per_service=2)
+        for name in ("pages", "units", "operations"):
+            container.deploy(ComponentDescriptor(
+                name, EchoService, min_instances=0, max_instances=16,
+                idle_timeout=30.0,
+            ))
+            tier.deploy(name, EchoService)
+
+        # traffic burst
+        for _ in range(10):
+            container.invoke("pages", "ping", 1)
+            tier.invoke("pages", "ping", 1)
+        burst_adaptive = container.resident_instances()
+        # traffic stops; time passes; the container sweeps
+        clock.advance(60)
+        container.sweep()
+        assert container.resident_instances() == 0
+        assert tier.resident_instances() == 24  # unchanged, forever
+        assert burst_adaptive <= 16

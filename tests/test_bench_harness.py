@@ -1,0 +1,37 @@
+"""Tests for the experiment reporting harness."""
+
+import os
+
+from repro.bench import ExperimentReport, report_path, save_report
+
+
+class TestExperimentReport:
+    def test_render_aligns_columns(self):
+        report = ExperimentReport("EX", "a title", "§9")
+        report.add("metric one", 10, 10)
+        report.add("a much longer metric name", "> 3000", 3262, note="ok")
+        text = report.render()
+        lines = text.splitlines()
+        assert lines[0] == "EX: a title   [§9]"
+        assert "metric" in lines[2] and "paper" in lines[2]
+        assert "3262" in text and "> 3000" in text and "ok" in text
+
+    def test_float_formatting(self):
+        report = ExperimentReport("EX", "t", "s")
+        report.add("big", 1234.5678, 1234.5678)
+        report.add("mid", 3.14159, 3.14159)
+        report.add("small", 0.00123, 0.00123)
+        text = report.render()
+        assert "1235" in text
+        assert "3.14" in text
+        assert "0.0012" in text
+
+    def test_save_report_writes_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_REPORT_DIR", str(tmp_path))
+        report = ExperimentReport("EX", "saved", "§0")
+        report.add("m", 1, 1)
+        text = save_report(report, echo=False)
+        path = report_path("EX")
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert handle.read() == text

@@ -1,0 +1,268 @@
+"""Tests for the two-level cache (§6): policies, fragment cache, unit-bean
+cache with model-driven invalidation, and the end-to-end behaviour that
+operations invalidate exactly the dependent beans."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.app import Browser, WebApplication
+from repro.caching import (
+    CacheStats,
+    FragmentCache,
+    UnitBeanCache,
+    parse_policy,
+)
+from repro.errors import CacheError
+from repro.services import UnitBean
+from repro.util import VirtualClock
+
+from tests.conftest import build_acm_webml, seed_acm
+
+
+class TestPolicies:
+    def test_model_driven(self):
+        policy = parse_policy("model-driven")
+        assert policy.ttl_seconds is None
+        assert policy.expires_at(100.0) is None
+
+    def test_ttl(self):
+        policy = parse_policy("ttl:30")
+        assert policy.expires_at(100.0) == 130.0
+
+    def test_bad_policies(self):
+        for bad in ("ttl:abc", "ttl:0", "ttl:-5", "forever"):
+            with pytest.raises(CacheError):
+                parse_policy(bad)
+
+
+class TestCacheStats:
+    def test_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.75
+        stats.reset()
+        assert stats.hit_rate == 0.0
+
+
+class TestFragmentCache:
+    def test_put_get(self):
+        cache = FragmentCache()
+        cache.put(("u1", "abc"), "<div>html</div>")
+        assert cache.get(("u1", "abc")) == "<div>html</div>"
+        assert cache.get(("u1", "other")) is None
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = FragmentCache(max_entries=2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        cache.get("a")  # refresh a
+        cache.put("c", "3")  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == "1"
+        assert cache.stats.evictions == 1
+
+    def test_ttl_expiry(self):
+        clock = VirtualClock()
+        cache = FragmentCache(ttl_seconds=10, clock=clock)
+        cache.put("k", "html")
+        assert cache.get("k") == "html"
+        clock.advance(11)
+        assert cache.get("k") is None
+        assert cache.stats.expirations == 1
+
+    def test_flush(self):
+        cache = FragmentCache()
+        cache.put("a", "1")
+        assert cache.flush() == 1
+        assert len(cache) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(CacheError):
+            FragmentCache(max_entries=0)
+
+
+def _bean(unit_id="u1") -> UnitBean:
+    return UnitBean(unit_id, "Unit", "index", rows=[{"oid": 1}])
+
+
+class TestUnitBeanCache:
+    def test_put_get_marks_from_cache(self):
+        cache = UnitBeanCache()
+        cache.put("k", _bean(), entities=["Paper"])
+        hit = cache.get("k")
+        assert hit is not None and hit.from_cache
+
+    def test_model_driven_invalidation_by_entity(self):
+        cache = UnitBeanCache()
+        cache.put("papers", _bean(), entities=["Paper"])
+        cache.put("volumes", _bean("u2"), entities=["Volume"])
+        dropped = cache.invalidate_writes(entities=["Paper"])
+        assert dropped == 1
+        assert cache.get("papers") is None
+        assert cache.get("volumes") is not None
+
+    def test_invalidation_by_role(self):
+        cache = UnitBeanCache()
+        cache.put("authors", _bean(), entities=["Author"],
+                  roles=["Authorship"])
+        assert cache.invalidate_writes(roles=["Authorship"]) == 1
+        assert cache.get("authors") is None
+
+    def test_invalidation_touches_only_dependents(self):
+        cache = UnitBeanCache()
+        for i in range(10):
+            entity = "Paper" if i % 2 else "Volume"
+            cache.put(f"k{i}", _bean(f"u{i}"), entities=[entity])
+        dropped = cache.invalidate_writes(entities=["Paper"])
+        assert dropped == 5
+        assert len(cache) == 5
+
+    def test_ttl_policy(self):
+        clock = VirtualClock()
+        cache = UnitBeanCache(clock=clock)
+        cache.put("k", _bean(), entities=["Paper"], policy="ttl:5")
+        assert cache.get("k") is not None
+        clock.advance(6)
+        assert cache.get("k") is None
+
+    def test_lru_eviction_cleans_indexes(self):
+        cache = UnitBeanCache(max_entries=2)
+        cache.put("a", _bean("a"), entities=["Paper"])
+        cache.put("b", _bean("b"), entities=["Paper"])
+        cache.put("c", _bean("c"), entities=["Paper"])
+        assert len(cache) == 2
+        assert cache.dependents_of(entity="Paper") == 2
+        assert cache.stats.evictions == 1
+
+    def test_overwrite_same_key(self):
+        cache = UnitBeanCache()
+        cache.put("k", _bean(), entities=["Paper"])
+        cache.put("k", _bean(), entities=["Volume"])
+        assert cache.dependents_of(entity="Paper") == 0
+        assert cache.dependents_of(entity="Volume") == 1
+
+    def test_flush(self):
+        cache = UnitBeanCache()
+        cache.put("k", _bean(), entities=["Paper"])
+        assert cache.flush() == 1
+        assert cache.dependents_of(entity="Paper") == 0
+
+    @given(st.lists(st.sampled_from(["Paper", "Volume", "Issue"]),
+                    min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_invalidation_never_leaves_stale_dependents(self, entities):
+        cache = UnitBeanCache()
+        for position, entity in enumerate(entities):
+            cache.put(f"k{position}", _bean(f"u{position}"), entities=[entity])
+        for entity in set(entities):
+            cache.invalidate_writes(entities=[entity])
+            assert cache.dependents_of(entity=entity) == 0
+        assert len(cache) == 0
+
+
+class TestEndToEndCaching:
+    """The §6 claims, exercised on the real application."""
+
+    def _cached_app(self):
+        model = build_acm_webml()
+        # tag the volume index as cached with model-driven invalidation
+        volumes_page = model.find_site_view("public").find_page("Volumes")
+        volumes_page.unit("All volumes").cacheable = True
+        cache = UnitBeanCache()
+        app = WebApplication(model, bean_cache=cache)
+        seed_acm(app)
+        app.ctx.stats.reset()
+        app.database.stats.reset()
+        return app, cache
+
+    def test_bean_cache_spares_queries(self):
+        app, cache = self._cached_app()
+        browser = Browser(app)
+        browser.get("/")
+        first_queries = app.ctx.stats.queries_executed
+        assert first_queries == 1
+        browser.get("/")
+        browser.get("/")
+        assert app.ctx.stats.queries_executed == first_queries  # spared!
+        assert cache.stats.hits == 2
+
+    def test_operation_invalidates_dependent_bean(self):
+        app, cache = self._cached_app()
+        browser = Browser(app)
+        browser.get("/")
+        assert len(cache) == 1
+
+        # add a create-volume operation and run it
+        model = app.model
+        admin = model.find_site_view("admin")
+        volumes_page = model.find_site_view("public").find_page("Volumes")
+        from repro.webml import LinkKind
+
+        create_volume = admin.create_op("CreateVolume", "Volume",
+                                        ["number", "year", "title"])
+        model.link(create_volume, volumes_page, kind=LinkKind.OK)
+        model.link(create_volume, volumes_page, kind=LinkKind.KO)
+        from repro.codegen import generate_project
+
+        project = generate_project(model, validate=False)
+        project.deploy(app.registry)
+        app.controller.load_config(project.controller_config)
+
+        login = Browser(app)
+        login.get(app.operation_url("admin", "Login",
+                                    {"username": "admin",
+                                     "password": "secret"}))
+        response = login.get(app.operation_url("admin", "CreateVolume", {
+            "number": "29", "year": "2004", "title": "TODS 29",
+        }))
+        assert response.status == 200
+        # the cached volume-index bean was invalidated by the write...
+        assert cache.stats.invalidations == 1
+        # ...so the next rendering shows the new volume (no stale serve)
+        browser.get("/")
+        assert "3 row(s)" in browser.body
+
+    def test_unrelated_write_keeps_cache(self):
+        app, cache = self._cached_app()
+        browser = Browser(app)
+        browser.get("/")
+        login = Browser(app)
+        login.get(app.operation_url("admin", "Login",
+                                    {"username": "admin",
+                                     "password": "secret"}))
+        login.get(app.operation_url("admin", "CreatePaper",
+                                    {"title": "Unrelated", "pages": "1"}))
+        # papers don't feed the volume index: bean survives
+        assert cache.stats.invalidations == 0
+        assert len(cache) == 1
+
+    def test_fragment_cache_does_not_spare_queries(self):
+        """§6's central observation, measured."""
+        from repro.caching import FragmentCache
+        from repro.presentation import PresentationRenderer, UnitRule
+        from repro.presentation.renderer import default_stylesheet
+        from repro.codegen import generate_project
+
+        model = build_acm_webml()
+        project = generate_project(model)
+        stylesheet = default_stylesheet("ACM")
+        # mark index fragments cacheable (one rule applies per tag, so
+        # extend the existing index rule rather than adding a second one)
+        index_rule = next(r for r in stylesheet.unit_rules
+                          if r.name == "style-index")
+        index_rule.set_attrs["fragment"] = "cache"
+        fragment_cache = FragmentCache()
+        renderer = PresentationRenderer(
+            project.skeletons, stylesheet, fragment_cache=fragment_cache
+        )
+        app = WebApplication(model, view_renderer=renderer)
+        seed_acm(app)
+        app.ctx.stats.reset()
+
+        browser = Browser(app)
+        browser.get("/")
+        browser.get("/")
+        assert fragment_cache.stats.hits == 1  # markup generation spared
+        assert app.ctx.stats.queries_executed == 2  # queries NOT spared

@@ -1,0 +1,20 @@
+"""Run the doctest examples embedded in library docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.util.identifiers
+import repro.xmlkit.node
+
+MODULES = [
+    repro.util.identifiers,
+    repro.xmlkit.node,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "module should carry runnable examples"

@@ -1,0 +1,35 @@
+"""Smoke tests: every shipped example must run clean from the repo root.
+
+The examples are deliverables — they break loudly here rather than in a
+reader's terminal.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_EXAMPLES = sorted(
+    name for name in os.listdir(os.path.join(_REPO_ROOT, "examples"))
+    if name.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("script", _EXAMPLES)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, os.path.join("examples", script)],
+        cwd=_REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples should narrate what they do"
+
+
+def test_example_inventory():
+    assert "quickstart.py" in _EXAMPLES
+    assert len(_EXAMPLES) >= 3  # the deliverable floor; we ship five

@@ -1,0 +1,107 @@
+"""The grand tour: every subsystem in one application.
+
+A scaled-down Acer portal served with the full stack at once — styled
+presentation (compile-time rules + CSS + menus), the two-level cache,
+the business tier deployed in the component container (Figure 6), and
+zipfian traffic over every public page — asserting the global invariants
+that the individual suites check piecewise.
+"""
+
+import pytest
+
+from repro.app import Browser, WebApplication
+from repro.appserver import ComponentContainer, deploy_business_tier
+from repro.caching import FragmentCache, UnitBeanCache
+from repro.codegen import generate_project
+from repro.presentation import PresentationRenderer
+from repro.presentation.renderer import default_stylesheet
+from repro.util import VirtualClock
+from repro.workloads.acer import AcerScale, build_acer_model, seed_acer_data
+from repro.workloads.traffic import TrafficGenerator, page_url_pool
+
+
+@pytest.fixture(scope="module")
+def portal():
+    scale = AcerScale(site_views=3, pages=12, units=62)
+    model = build_acer_model(scale)
+    model.validate()
+    for unit in model.all_units():
+        if unit.kind != "entry":
+            unit.cacheable = True
+    project = generate_project(model, validate=False)
+
+    stylesheet = default_stylesheet("Grand Tour Portal")
+    for rule in stylesheet.unit_rules:
+        rule.set_attrs["fragment"] = "cache"
+    fragment_cache = FragmentCache()
+    bean_cache = UnitBeanCache()
+    renderer = PresentationRenderer(project.skeletons, stylesheet,
+                                    fragment_cache=fragment_cache)
+    app = WebApplication(model, view_renderer=renderer,
+                         bean_cache=bean_cache)
+    seed_acer_data(app, rows_per_entity=6)
+    clock = VirtualClock()
+    container = deploy_business_tier(app, ComponentContainer(clock=clock))
+    app.ctx.stats.reset()
+    return app, container, clock, fragment_cache, bean_cache
+
+
+class TestGrandTour:
+    def test_all_public_pages_serve(self, portal):
+        app, *_ = portal
+        public_views = [v for v in app.model.site_views
+                        if not v.requires_login]
+        browser = Browser(app)
+        for view in public_views:
+            for url in page_url_pool(app, view.name):
+                response = browser.get(url)
+                assert response.status == 200, url
+                assert "<html>" in response.body
+
+    def test_traffic_hits_the_caches(self, portal):
+        app, container, _clock, fragment_cache, bean_cache = portal
+        view = next(v for v in app.model.site_views if not v.requires_login)
+        traffic = TrafficGenerator(app, page_url_pool(app, view.name),
+                                   seed=42)
+        report = traffic.run(requests=60, sessions=3)
+        assert report.errors == 0
+        assert bean_cache.stats.hits > 0
+        assert fragment_cache.stats.hits > 0
+        # the bean cache must collapse repeated queries well below 1/page
+        assert report.queries_executed < report.requests
+
+    def test_business_tier_lives_in_the_container(self, portal):
+        app, container, clock, *_ = portal
+        Browser(app).get("/")
+        assert container.invocations > 0
+        assert container.resident_instances() >= 1
+        clock.advance(120)
+        container.sweep()
+        assert container.resident_instances() == 0
+
+    def test_cm_write_invalidates_and_refreshes(self, portal):
+        app, _container, _clock, _fragment_cache, bean_cache = portal
+        cm_view = next(v for v in app.model.site_views if v.requires_login)
+        editor = Browser(app)
+        editor.get(app.operation_url(cm_view.name, "Login", {
+            "username": "editor", "password": "acer",
+        }))
+        create = next(o for o in cm_view.operations if o.kind == "create")
+        table = app.project.mapping.table_for(create.entity)
+
+        # warm a cached page that lists the entity, then write
+        home = editor.get(f"/{cm_view.id}/{cm_view.home_page_id}")
+        assert home.status == 200
+        invalidations_before = bean_cache.stats.invalidations
+        before = app.database.row_count(table)
+        editor.get(app.operation_url(cm_view.name, create.name,
+                                     {"name": "Tour entry"}))
+        assert app.database.row_count(table) == before + 1
+        assert bean_cache.stats.invalidations > invalidations_before
+
+    def test_menus_everywhere_pages_are_landmark_free(self, portal):
+        app, *_ = portal
+        # the acer generator flags no landmarks: no menu markup anywhere
+        browser = Browser(app)
+        browser.get("/")
+        assert '<ul class="site-menu">' not in browser.body

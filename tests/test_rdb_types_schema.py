@@ -1,0 +1,191 @@
+"""Tests for the SQL type system and table schema metadata."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.rdb import (
+    BooleanType,
+    Column,
+    DateType,
+    FloatType,
+    ForeignKey,
+    Index,
+    IntegerType,
+    TableSchema,
+    TextType,
+    VarcharType,
+    type_from_name,
+)
+
+
+class TestTypes:
+    def test_integer_accepts_int(self):
+        assert IntegerType().coerce(42) == 42
+
+    def test_integer_accepts_integral_float(self):
+        assert IntegerType().coerce(3.0) == 3
+
+    def test_integer_accepts_numeric_string(self):
+        assert IntegerType().coerce("17") == 17
+
+    def test_integer_rejects_fraction(self):
+        with pytest.raises(TypeMismatchError):
+            IntegerType().coerce(3.5)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            IntegerType().coerce(True)
+
+    def test_float_widens_int(self):
+        value = FloatType().coerce(2)
+        assert value == 2.0 and isinstance(value, float)
+
+    def test_float_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            FloatType().coerce("not a number")
+
+    def test_varchar_enforces_length(self):
+        assert VarcharType(5).coerce("abcde") == "abcde"
+        with pytest.raises(TypeMismatchError):
+            VarcharType(5).coerce("abcdef")
+
+    def test_varchar_stringifies(self):
+        assert VarcharType(10).coerce(42) == "42"
+
+    def test_varchar_rejects_nonpositive_length(self):
+        with pytest.raises(SchemaError):
+            VarcharType(0)
+
+    def test_text_accepts_anything_stringable(self):
+        assert TextType().coerce(3.5) == "3.5"
+
+    def test_boolean_accepts_variants(self):
+        assert BooleanType().coerce(True) is True
+        assert BooleanType().coerce(0) is False
+        assert BooleanType().coerce("TRUE") is True
+
+    def test_boolean_rejects_other_ints(self):
+        with pytest.raises(TypeMismatchError):
+            BooleanType().coerce(2)
+
+    def test_date_accepts_iso_string(self):
+        assert DateType().coerce("2003-01-05") == datetime.date(2003, 1, 5)
+
+    def test_date_accepts_datetime(self):
+        stamp = datetime.datetime(2003, 1, 5, 10, 30)
+        assert DateType().coerce(stamp) == datetime.date(2003, 1, 5)
+
+    def test_date_rejects_bad_string(self):
+        with pytest.raises(TypeMismatchError):
+            DateType().coerce("Jan 5 2003")
+
+    def test_null_passes_every_type(self):
+        for sql_type in (IntegerType(), FloatType(), VarcharType(3), TextType(),
+                         BooleanType(), DateType()):
+            assert sql_type.coerce(None) is None
+
+    def test_type_from_name(self):
+        assert type_from_name("INTEGER") == IntegerType()
+        assert type_from_name("varchar(12)") == VarcharType(12)
+        assert type_from_name("BOOL") == BooleanType()
+        assert type_from_name("REAL") == FloatType()
+
+    def test_type_from_name_unknown(self):
+        with pytest.raises(SchemaError):
+            type_from_name("GEOMETRY")
+
+    def test_type_equality_includes_length(self):
+        assert VarcharType(5) != VarcharType(6)
+        assert VarcharType(5) == VarcharType(5)
+
+
+def _volume_schema() -> TableSchema:
+    return TableSchema(
+        name="volume",
+        columns=[
+            Column("oid", IntegerType(), nullable=False, auto_increment=True),
+            Column("title", VarcharType(80), nullable=False),
+            Column("year", IntegerType()),
+        ],
+        primary_key=("oid",),
+    )
+
+
+class TestSchema:
+    def test_column_names(self):
+        assert _volume_schema().column_names == ["oid", "title", "year"]
+
+    def test_column_lookup(self):
+        schema = _volume_schema()
+        assert schema.column("title").sql_type == VarcharType(80)
+        with pytest.raises(SchemaError):
+            schema.column("nope")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate column"):
+            TableSchema("t", [Column("a", IntegerType()), Column("a", TextType())])
+
+    def test_pk_must_exist(self):
+        with pytest.raises(SchemaError, match="primary key column"):
+            TableSchema("t", [Column("a", IntegerType())], primary_key=("b",))
+
+    def test_fk_columns_must_exist(self):
+        with pytest.raises(SchemaError, match="foreign key column"):
+            TableSchema(
+                "t",
+                [Column("a", IntegerType())],
+                foreign_keys=[ForeignKey(("b",), "other", ("oid",))],
+            )
+
+    def test_fk_arity_mismatch(self):
+        with pytest.raises(SchemaError, match="column count mismatch"):
+            ForeignKey(("a", "b"), "other", ("oid",))
+
+    def test_fk_bad_action(self):
+        with pytest.raises(SchemaError, match="on_delete"):
+            ForeignKey(("a",), "other", ("oid",), on_delete="explode")
+
+    def test_auto_increment_requires_single_pk(self):
+        with pytest.raises(SchemaError, match="auto-increment"):
+            TableSchema(
+                "t",
+                [Column("a", IntegerType(), auto_increment=True),
+                 Column("b", IntegerType())],
+                primary_key=("a", "b"),
+            )
+
+    def test_index_columns_must_exist(self):
+        with pytest.raises(SchemaError, match="index"):
+            TableSchema(
+                "t",
+                [Column("a", IntegerType())],
+                indexes=[Index("ix", ("missing",))],
+            )
+
+    def test_to_ddl_roundtrips_through_parser(self):
+        from repro.rdb.sqlparser import parse_sql, CreateTable
+
+        schema = TableSchema(
+            name="issue",
+            columns=[
+                Column("oid", IntegerType(), nullable=False, auto_increment=True),
+                Column("volume_oid", IntegerType(), nullable=False),
+                Column("label", VarcharType(40)),
+            ],
+            primary_key=("oid",),
+            foreign_keys=[
+                ForeignKey(("volume_oid",), "volume", ("oid",), on_delete="cascade")
+            ],
+            unique_constraints=[("volume_oid", "label")],
+        )
+        parsed = parse_sql(schema.to_ddl())
+        assert isinstance(parsed, CreateTable)
+        reparsed = parsed.schema
+        assert reparsed.name == "issue"
+        assert reparsed.column_names == ["oid", "volume_oid", "label"]
+        assert reparsed.primary_key == ("oid",)
+        assert reparsed.foreign_keys[0].on_delete == "cascade"
+        assert reparsed.unique_constraints == [("volume_oid", "label")]
+        assert reparsed.column("oid").auto_increment

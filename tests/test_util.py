@@ -1,0 +1,142 @@
+"""Tests for repro.util: naming, topological ordering, clocks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    CycleError,
+    SystemClock,
+    VirtualClock,
+    camel_to_snake,
+    make_identifier,
+    snake_to_camel,
+    stable_topological_sort,
+    unique_name,
+)
+
+
+class TestNaming:
+    def test_camel_to_snake_simple(self):
+        assert camel_to_snake("VolumeToIssue") == "volume_to_issue"
+
+    def test_camel_to_snake_acronym(self):
+        assert camel_to_snake("ACMPaper") == "acm_paper"
+
+    def test_camel_to_snake_already_lower(self):
+        assert camel_to_snake("volume") == "volume"
+
+    def test_camel_to_snake_digits(self):
+        assert camel_to_snake("Page2Unit") == "page2_unit"
+
+    def test_snake_to_camel(self):
+        assert snake_to_camel("volume_to_issue") == "VolumeToIssue"
+
+    def test_snake_to_camel_lower_first(self):
+        assert snake_to_camel("volume data", upper_first=False) == "volumeData"
+
+    def test_snake_to_camel_empty(self):
+        assert snake_to_camel("") == ""
+
+    def test_make_identifier_punctuation(self):
+        assert make_identifier("Issues&Papers") == "issues_papers"
+
+    def test_make_identifier_leading_digit(self):
+        assert make_identifier("2-column layout") == "_2_column_layout"
+
+    def test_make_identifier_empty(self):
+        assert make_identifier("  !! ") == "_"
+
+    def test_unique_name_no_clash(self):
+        taken: set[str] = set()
+        assert unique_name("page", taken) == "page"
+        assert "page" in taken
+
+    def test_unique_name_clash_counts_up(self):
+        taken = {"page", "page_2"}
+        assert unique_name("page", taken) == "page_3"
+
+    @given(st.text(min_size=1, max_size=40))
+    def test_make_identifier_always_valid(self, text):
+        ident = make_identifier(text)
+        assert ident.isidentifier()
+
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu")),
+                   min_size=1, max_size=20))
+    def test_camel_snake_camel_roundtrip_shape(self, name):
+        # Round-tripping normalizes case boundaries but must stay stable:
+        # a second conversion is a fixed point.
+        once = camel_to_snake(name)
+        assert camel_to_snake(once) == once
+
+
+class TestTopologicalSort:
+    def test_no_dependencies_preserves_order(self):
+        order = stable_topological_sort(["c", "a", "b"], {})
+        assert order == ["c", "a", "b"]
+
+    def test_linear_chain(self):
+        deps = {"b": ["a"], "c": ["b"]}
+        assert stable_topological_sort(["c", "b", "a"], deps) == ["a", "b", "c"]
+
+    def test_diamond_is_stable(self):
+        deps = {"b": ["a"], "c": ["a"], "d": ["b", "c"]}
+        assert stable_topological_sort(["a", "b", "c", "d"], deps) == ["a", "b", "c", "d"]
+
+    def test_external_dependencies_ignored(self):
+        # A unit fed only by the HTTP request depends on nothing orderable.
+        deps = {"a": ["http-request"]}
+        assert stable_topological_sort(["a"], deps) == ["a"]
+
+    def test_self_dependency_ignored(self):
+        assert stable_topological_sort(["a"], {"a": ["a"]}) == ["a"]
+
+    def test_cycle_detected(self):
+        deps = {"a": ["b"], "b": ["a"]}
+        with pytest.raises(CycleError) as exc:
+            stable_topological_sort(["a", "b"], deps)
+        assert set(exc.value.members) == {"a", "b"}
+
+    @given(
+        st.lists(st.integers(0, 30), unique=True, min_size=1, max_size=30).flatmap(
+            lambda nodes: st.tuples(
+                st.just(nodes),
+                st.dictionaries(
+                    st.sampled_from(nodes),
+                    st.lists(st.sampled_from(nodes), max_size=4),
+                    max_size=len(nodes),
+                ),
+            )
+        )
+    )
+    def test_order_respects_dependencies(self, nodes_and_deps):
+        nodes, deps = nodes_and_deps
+        try:
+            order = stable_topological_sort(nodes, deps)
+        except CycleError:
+            return  # cycles are a legitimate rejection
+        assert sorted(order) == sorted(nodes)
+        position = {n: i for i, n in enumerate(order)}
+        for node, before in deps.items():
+            for dep in before:
+                if dep in position and dep != node:
+                    assert position[dep] < position[node]
+
+
+class TestClocks:
+    def test_virtual_clock_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_virtual_clock_advances(self):
+        clock = VirtualClock(start=5.0)
+        assert clock.advance(2.5) == 7.5
+        assert clock.now() == 7.5
+
+    def test_virtual_clock_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_system_clock_monotonic(self):
+        clock = SystemClock()
+        first = clock.now()
+        assert clock.now() >= first

@@ -1,0 +1,180 @@
+"""Tests for the reference workloads: the ACM application, the bookstore,
+the Acer-Euro-scale generator, and the traffic generator."""
+
+import pytest
+
+from repro.app import Browser
+from repro.codegen import generate_project
+from repro.errors import CodegenError
+from repro.workloads import (
+    AcerScale,
+    TrafficGenerator,
+    acer_statistics,
+    build_acer_model,
+    build_acm_application,
+    build_bookstore_application,
+)
+from repro.workloads.acer import seed_acer_data
+from repro.workloads.traffic import page_url_pool
+
+
+class TestAcmWorkload:
+    def test_application_serves(self):
+        app, oids = build_acm_application()
+        browser = Browser(app)
+        browser.get("/")
+        assert browser.status == 200
+        assert len(oids["volumes"]) == 2
+
+    def test_scalable_seeding(self):
+        app, oids = build_acm_application(volumes=3, issues_per_volume=3,
+                                          papers_per_issue=4)
+        assert len(oids["volumes"]) == 3
+        assert len(oids["issues"]) == 9
+        assert len(oids["papers"]) == 36
+        assert app.database.row_count("paper") == 36
+
+    def test_volume_page_matches_figure1(self):
+        app, oids = build_acm_application()
+        view = app.model.find_site_view("public")
+        page = view.find_page("Volume Page")
+        kinds = [u.kind for u in page.units]
+        assert kinds == ["data", "hierarchical", "entry"]
+
+
+class TestBookstoreWorkload:
+    def test_shop_browsing(self):
+        app, oids = build_bookstore_application()
+        browser = Browser(app)
+        browser.get("/")
+        assert browser.status == 200
+
+    def test_back_office_protected(self):
+        app, oids = build_bookstore_application()
+        url = app.page_url("backoffice", "Desk")
+        assert app.get(url).status == 403
+        browser = Browser(app)
+        browser.get(app.operation_url("backoffice", "Login", {
+            "username": "clerk", "password": "books",
+        }))
+        assert browser.get(url).status == 200
+
+    def test_reprice_operation(self):
+        app, oids = build_bookstore_application()
+        browser = Browser(app)
+        browser.get(app.operation_url("backoffice", "Login", {
+            "username": "clerk", "password": "books",
+        }))
+        book = oids["books"][0]
+        browser.get(app.operation_url("backoffice", "Reprice", {
+            "oid": book, "price": "99.0",
+        }))
+        assert app.database.query(
+            "SELECT price FROM book WHERE oid = :b", {"b": book}
+        ).scalar() == 99.0
+
+    def test_model_validates(self):
+        from repro.workloads.bookstore import build_bookstore_model
+
+        build_bookstore_model().validate()
+
+
+class TestAcerScale:
+    def test_published_counts_exact(self):
+        model = build_acer_model()
+        stats = acer_statistics(model)
+        assert stats["site_views"] == 22
+        assert stats["pages"] == 556
+        assert stats["units"] == 3068
+
+    def test_model_validates(self):
+        build_acer_model(AcerScale().scaled(0.05)).validate()
+
+    def test_generated_project_exceeds_3000_queries(self):
+        project = generate_project(build_acer_model(), validate=False)
+        assert project.counts()["sql_statements"] > 3000
+
+    def test_scaled_down_preserves_pattern_bounds(self):
+        scale = AcerScale().scaled(0.1)
+        model = build_acer_model(scale)
+        stats = acer_statistics(model)
+        assert stats["site_views"] == scale.site_views
+        assert stats["pages"] == scale.pages
+        assert stats["units"] == scale.units
+
+    def test_impossible_scale_rejected(self):
+        with pytest.raises(CodegenError):
+            AcerScale(site_views=1, pages=10, units=10)  # < 5/page
+
+    def test_small_scale_application_serves(self):
+        from repro.app import WebApplication
+
+        scale = AcerScale(site_views=2, pages=4, units=18)
+        model = build_acer_model(scale)
+        app = WebApplication(model)
+        seed_acer_data(app, rows_per_entity=5)
+        browser = Browser(app)
+        browser.get("/")
+        assert browser.status == 200
+        # a CM view exists and is protected
+        cm_views = [v for v in model.site_views if v.requires_login]
+        assert cm_views
+        home = cm_views[0].home_page
+        assert app.get(f"/{cm_views[0].id}/{home.id}").status == 403
+
+    def test_cm_operations_run(self):
+        from repro.app import WebApplication
+
+        scale = AcerScale(site_views=2, pages=4, units=18)
+        model = build_acer_model(scale)
+        app = WebApplication(model)
+        seed_acer_data(app, rows_per_entity=3)
+        cm_view = next(v for v in model.site_views if v.requires_login)
+        browser = Browser(app)
+        browser.get(app.operation_url(cm_view.name, "Login", {
+            "username": "editor", "password": "acer",
+        }))
+        create = next(o for o in cm_view.operations
+                      if o.kind == "create")
+        before = app.database.row_count(
+            app.project.mapping.table_for(create.entity)
+        )
+        browser.get(app.operation_url(cm_view.name, create.name,
+                                      {"name": "Brand new"}))
+        after = app.database.row_count(
+            app.project.mapping.table_for(create.entity)
+        )
+        assert after == before + 1
+
+
+class TestTraffic:
+    def test_traffic_is_deterministic(self):
+        app, oids = build_acm_application()
+        pool = page_url_pool(app, "public")
+        first = TrafficGenerator(app, pool, seed=7)
+        second = TrafficGenerator(app, pool, seed=7)
+        assert [first.pick_url() for _ in range(20)] == \
+            [second.pick_url() for _ in range(20)]
+
+    def test_zipf_skews_toward_head(self):
+        app, oids = build_acm_application()
+        pool = page_url_pool(app, "public")
+        generator = TrafficGenerator(app, pool, seed=1, zipf_skew=1.2)
+        picks = [generator.pick_url() for _ in range(400)]
+        head_share = picks.count(pool[0]) / len(picks)
+        tail_share = picks.count(pool[-1]) / len(picks)
+        assert head_share > tail_share
+
+    def test_run_reports(self):
+        app, oids = build_acm_application()
+        pool = page_url_pool(app, "public")
+        report = TrafficGenerator(app, pool, seed=3).run(requests=30)
+        assert report.requests == 30
+        assert report.ok_responses == 30
+        assert report.queries_executed > 0
+        assert report.requests_per_second > 0
+
+    def test_empty_pool_rejected(self):
+        app, oids = build_acm_application()
+        with pytest.raises(ValueError):
+            TrafficGenerator(app, [])

@@ -1,0 +1,321 @@
+"""Tests for repro.xmlkit: tree, parser, writer, patterns."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RuleError, XmlError, XmlParseError
+from repro.xmlkit import (
+    Element,
+    Text,
+    compile_pattern,
+    parse_xml,
+    pretty_print,
+    serialize,
+)
+
+
+class TestTree:
+    def test_append_sets_parent(self):
+        root = Element("page")
+        child = root.add("unit", {"id": "u1"})
+        assert child.parent is root
+        assert root.element_children() == [child]
+
+    def test_detach(self):
+        root = Element("page")
+        child = root.add("unit")
+        child.detach()
+        assert child.parent is None
+        assert root.children == []
+
+    def test_append_moves_node_between_parents(self):
+        a, b = Element("a"), Element("b")
+        child = a.add("x")
+        b.append(child)
+        assert child.parent is b
+        assert a.children == []
+
+    def test_replace_with(self):
+        root = Element("page")
+        old = root.add("skeleton")
+        new = Element("styled")
+        old.replace_with(new)
+        assert root.element_children() == [new]
+        assert new.parent is root
+
+    def test_replace_root_fails(self):
+        with pytest.raises(XmlError):
+            Element("root").replace_with(Element("other"))
+
+    def test_copy_is_deep_and_detached(self):
+        root = Element("page", {"id": "p"})
+        root.add("unit", text="hello")
+        clone = root.copy()
+        assert clone.parent is None
+        assert serialize(clone) == serialize(root)
+        clone.find("unit").set("id", "changed")
+        assert "changed" not in serialize(root)
+
+    def test_text_aggregation(self):
+        root = parse_xml("<a>one<b>two</b>three</a>")
+        assert root.text() == "onetwothree"
+
+    def test_find_and_find_all(self):
+        root = parse_xml("<p><u n='1'/><v/><u n='2'/></p>")
+        assert root.find("u").get("n") == "1"
+        assert [u.get("n") for u in root.find_all("u")] == ["1", "2"]
+        assert root.find("missing") is None
+
+    def test_descendants(self):
+        root = parse_xml("<a><b><c/><c/></b><c/></a>")
+        assert len(root.descendants("c")) == 3
+
+    def test_required_raises(self):
+        with pytest.raises(XmlError, match="missing required child"):
+            Element("page").required("unit")
+
+    def test_require_attr(self):
+        element = Element("unit", {"id": "u1"})
+        assert element.require_attr("id") == "u1"
+        with pytest.raises(XmlError, match="missing required attribute"):
+            element.require_attr("entity")
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(XmlError):
+            Element("")
+
+    def test_root_navigation(self):
+        root = Element("a")
+        leaf = root.add("b").add("c")
+        assert leaf.root() is root
+
+    def test_insert_position(self):
+        root = Element("a")
+        root.add("x")
+        root.insert(0, Element("first"))
+        assert root.element_children()[0].tag == "first"
+
+
+class TestParser:
+    def test_simple_document(self):
+        root = parse_xml('<page id="volume"><unit/></page>')
+        assert root.tag == "page"
+        assert root.get("id") == "volume"
+        assert root.find("unit") is not None
+
+    def test_xml_declaration_skipped(self):
+        root = parse_xml('<?xml version="1.0"?><a/>')
+        assert root.tag == "a"
+
+    def test_comments_skipped(self):
+        root = parse_xml("<a><!-- note --><b/><!-- more --></a>")
+        assert [c.tag for c in root.element_children()] == ["b"]
+
+    def test_cdata(self):
+        root = parse_xml("<q><![CDATA[SELECT * FROM t WHERE a < 3]]></q>")
+        assert root.text() == "SELECT * FROM t WHERE a < 3"
+
+    def test_entities(self):
+        root = parse_xml("<a b='&lt;&amp;&gt;&quot;&apos;'>&#65;&#x42;</a>")
+        assert root.get("b") == "<&>\"'"
+        assert root.text() == "AB"
+
+    def test_single_quoted_attributes(self):
+        assert parse_xml("<a x='1'/>").get("x") == "1"
+
+    def test_namespaced_tags_kept_verbatim(self):
+        root = parse_xml("<webml:dataUnit entity='Volume'/>")
+        assert root.tag == "webml:dataUnit"
+
+    def test_mismatched_tag_rejected(self):
+        with pytest.raises(XmlParseError, match="mismatched end tag"):
+            parse_xml("<a><b></a></b>")
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(XmlParseError, match="unterminated"):
+            parse_xml("<a><b>")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XmlParseError, match="duplicate attribute"):
+            parse_xml("<a x='1' x='2'/>")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XmlParseError, match="after the root"):
+            parse_xml("<a/><b/>")
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XmlParseError, match="unknown entity"):
+            parse_xml("<a>&nope;</a>")
+
+    def test_doctype_rejected(self):
+        with pytest.raises(XmlParseError, match="DOCTYPE"):
+            parse_xml("<!DOCTYPE html><a/>")
+
+    def test_error_location_reported(self):
+        with pytest.raises(XmlParseError) as exc:
+            parse_xml("<a>\n  <b x=1/>\n</a>")
+        assert exc.value.line == 2
+
+    def test_unquoted_attribute_rejected(self):
+        with pytest.raises(XmlParseError, match="quoted"):
+            parse_xml("<a x=1/>")
+
+    def test_whitespace_preserved_in_content(self):
+        root = parse_xml("<a>  two  spaces  </a>")
+        assert root.text() == "  two  spaces  "
+
+
+class TestWriter:
+    def test_serialize_escapes(self):
+        root = Element("a", {"q": 'say "hi" <now>'})
+        root.add_text("1 < 2 & 3 > 2")
+        out = serialize(root)
+        assert "&lt;" in out and "&amp;" in out and "&quot;" in out
+
+    def test_serialize_self_closes_empty(self):
+        assert serialize(Element("br")) == "<br/>"
+
+    def test_roundtrip(self):
+        source = '<page id="p1"><unit kind="data">Volume</unit><x/></page>'
+        assert serialize(parse_xml(source)) == source
+
+    def test_pretty_print_indents(self):
+        root = parse_xml("<a><b><c/></b></a>")
+        out = pretty_print(root)
+        assert out == "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n"
+
+    def test_pretty_print_inline_text(self):
+        root = parse_xml("<a><b>hello</b></a>")
+        assert "<b>hello</b>" in pretty_print(root)
+
+    def test_pretty_roundtrip_structure(self):
+        source = "<page><unit id='u'>text</unit><other/></page>"
+        reparsed = parse_xml(pretty_print(parse_xml(source)))
+        assert reparsed.find("unit").text() == "text"
+        assert reparsed.find("other") is not None
+
+
+_tags = st.sampled_from(["page", "unit", "cell", "webml:dataUnit", "row"])
+_attr_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=12
+)
+# Empty text nodes vanish on reparse (<a></a> == <a/>), so require content.
+_text_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), min_size=1, max_size=12
+)
+
+
+@st.composite
+def _xml_trees(draw, depth=0):
+    element = Element(draw(_tags))
+    for name, value in draw(
+        st.dictionaries(st.sampled_from(["id", "entity", "class"]), _attr_values, max_size=2)
+    ).items():
+        element.set(name, value)
+    if depth < 3:
+        for _ in range(draw(st.integers(0, 2))):
+            kind = draw(st.sampled_from(["element", "text"]))
+            if kind == "text":
+                element.append(Text(draw(_text_values)))
+            else:
+                element.append(draw(_xml_trees(depth=depth + 1)))
+    return element
+
+
+class TestRoundtripProperties:
+    @given(_xml_trees())
+    def test_serialize_parse_roundtrip(self, tree):
+        reparsed = parse_xml(serialize(tree))
+        assert serialize(reparsed) == serialize(tree)
+
+
+class TestPatterns:
+    def test_tag_match(self):
+        pattern = compile_pattern("unit")
+        assert pattern.matches(Element("unit"))
+        assert not pattern.matches(Element("page"))
+
+    def test_wildcard(self):
+        assert compile_pattern("*").matches(Element("anything"))
+
+    def test_attribute_presence(self):
+        pattern = compile_pattern("unit[@entity]")
+        assert pattern.matches(Element("unit", {"entity": "Volume"}))
+        assert not pattern.matches(Element("unit"))
+
+    def test_attribute_equality(self):
+        pattern = compile_pattern("unit[@kind='index']")
+        assert pattern.matches(Element("unit", {"kind": "index"}))
+        assert not pattern.matches(Element("unit", {"kind": "data"}))
+
+    def test_parent_axis(self):
+        tree = parse_xml("<page><unit/></page>")
+        unit = tree.find("unit")
+        assert compile_pattern("page/unit").matches(unit)
+        assert not compile_pattern("area/unit").matches(unit)
+
+    def test_ancestor_axis(self):
+        tree = parse_xml("<page><row><unit/></row></page>")
+        unit = tree.find("row").find("unit")
+        assert compile_pattern("page//unit").matches(unit)
+        assert not compile_pattern("page/unit").matches(unit)
+
+    def test_rooted_pattern(self):
+        tree = parse_xml("<page><page><unit/></page></page>")
+        inner_unit = tree.find("page").find("unit")
+        # rooted: the page step must be the tree root
+        assert compile_pattern("/page/unit").matches(inner_unit) is False
+        outer = Element("page")
+        direct = outer.add("unit")
+        assert compile_pattern("/page/unit").matches(direct)
+
+    def test_multiple_predicates(self):
+        pattern = compile_pattern("unit[@kind='data'][@entity]")
+        assert pattern.matches(Element("unit", {"kind": "data", "entity": "E"}))
+        assert not pattern.matches(Element("unit", {"kind": "data"}))
+
+    def test_specificity_ordering(self):
+        generic = compile_pattern("*")
+        tag = compile_pattern("unit")
+        qualified = compile_pattern("page/unit[@kind='index']")
+        assert generic.specificity < tag.specificity < qualified.specificity
+
+    def test_bad_syntax_rejected(self):
+        for bad in ["", "[@x]", "unit[@]", "unit[", "a b", "un*t"]:
+            with pytest.raises(RuleError):
+                compile_pattern(bad)
+
+
+class TestWriterEdgeCases:
+    def test_escape_attr_quotes(self):
+        from repro.xmlkit.writer import escape_attr, escape_text
+
+        assert escape_attr('a"b<c>&d') == "a&quot;b&lt;c&gt;&amp;d"
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_pretty_print_drops_whitespace_only_text(self):
+        root = parse_xml("<a>\n  <b/>\n</a>")
+        assert pretty_print(root) == "<a>\n  <b/>\n</a>\n"
+
+    def test_text_copy_is_independent(self):
+        original = Text("hello")
+        clone = original.copy()
+        clone.value = "changed"
+        assert original.value == "hello"
+
+
+class TestPatternSpecificityTies:
+    def test_equal_specificity_first_declared_wins_in_stylesheet(self):
+        from repro.presentation.xslt import Stylesheet, UnitRule
+
+        first = UnitRule(pattern="webml:dataUnit", set_attrs={"who": "first"})
+        second = UnitRule(pattern="webml:dataUnit", set_attrs={"who": "second"})
+        sheet = Stylesheet("s", unit_rules=[first, second])
+        styled = sheet.apply("<p><webml:dataUnit unit='u'/></p>")
+        assert 'who="first"' in styled
+
+    def test_predicate_beats_bare_tag(self):
+        bare = compile_pattern("webml:dataUnit")
+        qualified = compile_pattern("webml:dataUnit[@kind='data']")
+        assert qualified.specificity > bare.specificity
