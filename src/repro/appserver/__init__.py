@@ -10,16 +10,21 @@ accessed by Web applications and other enterprise applications."
   idle, shared by Web and non-Web clients;
 - :mod:`repro.appserver.servlet_tier` — the baseline §4 argues against:
   statically cloned servlet containers whose service instances stay
-  resident regardless of traffic.
+  resident regardless of traffic;
+- :mod:`repro.appserver.threaded` — the request front end: N worker
+  threads pulling requests off a queue and running them through the
+  full (thread-safe) request path concurrently.
 """
 
 from repro.appserver.container import ComponentContainer, ComponentDescriptor
 from repro.appserver.integration import deploy_business_tier
 from repro.appserver.servlet_tier import ServletTierDeployment
+from repro.appserver.threaded import ThreadedAppServer
 
 __all__ = [
     "ComponentContainer",
     "ComponentDescriptor",
     "ServletTierDeployment",
+    "ThreadedAppServer",
     "deploy_business_tier",
 ]

@@ -18,6 +18,7 @@ deterministic.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import ContainerError
@@ -58,36 +59,54 @@ class _Pool:
 
 
 class ComponentContainer:
-    """Holds every deployed component and its instance pool."""
+    """Holds every deployed component and its instance pool.
 
-    def __init__(self, clock=None):
+    Thread-safe: acquisition, release, deployment, and sweeping all
+    synchronize on one condition variable, so worker threads of a
+    :class:`~repro.appserver.threaded.ThreadedAppServer` can invoke
+    components concurrently.  ``block_when_exhausted=True`` makes an
+    invoke wait for a pooled instance instead of raising when a
+    component is at ``max_instances``.
+    """
+
+    def __init__(self, clock=None, block_when_exhausted: bool = False,
+                 acquire_timeout: float | None = None):
         self.clock = clock or SystemClock()
+        self.block_when_exhausted = block_when_exhausted
+        self.acquire_timeout = acquire_timeout
+        self._cond = threading.Condition()
         self._pools: dict[str, _Pool] = {}
         self.invocations = 0
 
     # -- deployment ----------------------------------------------------------
 
     def deploy(self, descriptor: ComponentDescriptor) -> None:
-        if descriptor.name in self._pools:
-            raise ContainerError(f"component {descriptor.name!r} already deployed")
-        pool = _Pool(descriptor)
-        for _ in range(descriptor.min_instances):
-            pool.idle.append((descriptor.factory(), self.clock.now()))
-            pool.created_total += 1
-        pool.peak_resident = pool.resident
-        self._pools[descriptor.name] = pool
+        with self._cond:
+            if descriptor.name in self._pools:
+                raise ContainerError(
+                    f"component {descriptor.name!r} already deployed"
+                )
+            pool = _Pool(descriptor)
+            for _ in range(descriptor.min_instances):
+                pool.idle.append((descriptor.factory(), self.clock.now()))
+                pool.created_total += 1
+            pool.peak_resident = pool.resident
+            self._pools[descriptor.name] = pool
 
     def undeploy(self, name: str) -> None:
-        self._pools.pop(name, None)
+        with self._cond:
+            self._pools.pop(name, None)
 
     def deployed(self) -> list[str]:
-        return sorted(self._pools)
+        with self._cond:
+            return sorted(self._pools)
 
     def _pool(self, name: str) -> _Pool:
-        pool = self._pools.get(name)
-        if pool is None:
-            raise ContainerError(f"no component deployed as {name!r}")
-        return pool
+        with self._cond:
+            pool = self._pools.get(name)
+            if pool is None:
+                raise ContainerError(f"no component deployed as {name!r}")
+            return pool
 
     # -- invocation -------------------------------------------------------------
 
@@ -95,37 +114,59 @@ class ComponentContainer:
         """Call ``method`` on a pooled instance of component ``name``.
 
         Usable by the Web tier's action classes and by any other client
-        (the §4 sharing property).
+        (the §4 sharing property).  The method itself runs outside the
+        container lock, so slow components never serialize the tier.
         """
         pool = self._pool(name)
-        instance = self._acquire(pool)
+        instance = self._acquire(pool, block=self.block_when_exhausted)
         try:
             bound = getattr(instance, method)
-            self.invocations += 1
+            with self._cond:
+                self.invocations += 1
             return bound(*args, **kwargs)
         finally:
             self._release(pool, instance)
 
-    def _acquire(self, pool: _Pool):
-        if pool.idle:
-            instance, _last_used = pool.idle.pop()
-            pool.busy += 1
-            return instance
-        if pool.resident >= pool.descriptor.max_instances:
-            raise ContainerError(
-                f"component {pool.descriptor.name!r} at max instances "
-                f"({pool.descriptor.max_instances})"
+    def _acquire(self, pool: _Pool, block: bool = False):
+        with self._cond:
+            deadline = (
+                None if self.acquire_timeout is None
+                else self.clock.now() + self.acquire_timeout
             )
-        instance = pool.descriptor.factory()
-        pool.created_total += 1
-        pool.busy += 1
-        pool.peak_resident = max(pool.peak_resident, pool.resident)
-        return instance
+            while True:
+                if pool.idle:
+                    instance, _last_used = pool.idle.pop()
+                    pool.busy += 1
+                    return instance
+                if pool.resident < pool.descriptor.max_instances:
+                    instance = pool.descriptor.factory()
+                    pool.created_total += 1
+                    pool.busy += 1
+                    pool.peak_resident = max(pool.peak_resident,
+                                             pool.resident)
+                    return instance
+                if not block:
+                    raise ContainerError(
+                        f"component {pool.descriptor.name!r} at max instances "
+                        f"({pool.descriptor.max_instances})"
+                    )
+                timeout = None
+                if deadline is not None:
+                    timeout = deadline - self.clock.now()
+                    if timeout <= 0:
+                        raise ContainerError(
+                            f"component {pool.descriptor.name!r} at max "
+                            f"instances ({pool.descriptor.max_instances}; "
+                            f"timed out waiting)"
+                        )
+                self._cond.wait(timeout)
 
     def _release(self, pool: _Pool, instance) -> None:
-        pool.busy -= 1
-        pool.idle.append((instance, self.clock.now()))
-        pool.peak_resident = max(pool.peak_resident, pool.resident)
+        with self._cond:
+            pool.busy -= 1
+            pool.idle.append((instance, self.clock.now()))
+            pool.peak_resident = max(pool.peak_resident, pool.resident)
+            self._cond.notify()
 
     # -- adaptive scaling ----------------------------------------------------------
 
@@ -135,6 +176,10 @@ class ComponentContainer:
         Returns how many instances were released — the memory the static
         clone architecture would have kept occupied.
         """
+        with self._cond:
+            return self._sweep_locked()
+
+    def _sweep_locked(self) -> int:
         now = self.clock.now()
         passivated = 0
         for pool in self._pools.values():
@@ -156,17 +201,19 @@ class ComponentContainer:
     # -- observation ------------------------------------------------------------------
 
     def resident_instances(self, name: str | None = None) -> int:
-        if name is not None:
-            return self._pool(name).resident
-        return sum(pool.resident for pool in self._pools.values())
+        with self._cond:
+            if name is not None:
+                return self._pool(name).resident
+            return sum(pool.resident for pool in self._pools.values())
 
     def pool_stats(self, name: str) -> dict:
-        pool = self._pool(name)
-        return {
-            "resident": pool.resident,
-            "busy": pool.busy,
-            "idle": len(pool.idle),
-            "created_total": pool.created_total,
-            "passivated_total": pool.passivated_total,
-            "peak_resident": pool.peak_resident,
-        }
+        with self._cond:
+            pool = self._pool(name)
+            return {
+                "resident": pool.resident,
+                "busy": pool.busy,
+                "idle": len(pool.idle),
+                "created_total": pool.created_total,
+                "passivated_total": pool.passivated_total,
+                "peak_resident": pool.peak_resident,
+            }

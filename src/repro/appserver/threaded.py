@@ -1,0 +1,137 @@
+"""A threaded request front end for the application tier.
+
+The paper's runtime exists to serve "a high number of users" (§1): the
+servlet container dispatches each incoming request to a worker thread,
+and every tier below — pooled connections, shared business components,
+the two-level cache — is built to be shared by those threads.  This
+module is that dispatch layer for the reproduction: a
+:class:`ThreadedAppServer` owns N worker threads which pull
+:class:`~repro.mvc.http.HttpRequest` objects off a queue and run them
+through the application's full request path concurrently.
+
+Experiment E13 drives it to show that read-heavy traffic scales with
+workers (threads overlap the data tier's simulated I/O waits) while
+write-heavy traffic stays linearizable on the rdb tier's write lock.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+
+from repro.errors import ContainerError
+from repro.mvc.http import HttpRequest, HttpResponse
+
+_STOP = object()
+
+
+class ThreadedAppServer:
+    """Dispatches requests across a pool of worker threads.
+
+    ``app`` is anything with ``handle(request) -> HttpResponse`` (a
+    :class:`~repro.app.WebApplication`, with or without a deployed
+    business tier).  Use as a context manager, or call :meth:`start` /
+    :meth:`stop` explicitly.
+    """
+
+    def __init__(self, app, workers: int = 4, queue_capacity: int = 0):
+        if workers <= 0:
+            raise ContainerError("an app server needs at least one worker")
+        self.app = app
+        self.workers = workers
+        self._queue: queue.Queue = queue.Queue(queue_capacity)
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self.requests_served = 0
+        self.failures = 0  # requests whose handler raised (bugs, not 4xx/5xx)
+        self.served_per_worker: list[int] = []
+        self.total_queue_wait_seconds = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return bool(self._threads)
+
+    def start(self) -> "ThreadedAppServer":
+        if self._threads:
+            raise ContainerError("app server already started")
+        self.served_per_worker = [0] * self.workers
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._work, args=(index,),
+                name=f"appserver-worker-{index}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        if not self._threads:
+            return
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+
+    def __enter__(self) -> "ThreadedAppServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def submit(self, request: HttpRequest) -> Future:
+        """Enqueue one request; the future resolves to its response."""
+        if not self._threads:
+            raise ContainerError("app server is not running")
+        future: Future = Future()
+        self._queue.put((request, future, time.monotonic()))
+        return future
+
+    def get(self, url: str, session_id: str | None = None,
+            headers: dict | None = None) -> Future:
+        return self.submit(HttpRequest.from_url(
+            url, headers=headers, session_id=session_id
+        ))
+
+    def serve(self, requests, timeout: float | None = None) -> list[HttpResponse]:
+        """Submit every request and wait for all responses, in order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result(timeout) for future in futures]
+
+    def _work(self, index: int) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            request, future, enqueued_at = item
+            waited = time.monotonic() - enqueued_at
+            try:
+                response = self.app.handle(request)
+            except BaseException as exc:  # surface to the submitter
+                with self._lock:
+                    self.failures += 1
+                future.set_exception(exc)
+            else:
+                with self._lock:
+                    self.requests_served += 1
+                    self.served_per_worker[index] += 1
+                    self.total_queue_wait_seconds += waited
+                future.set_result(response)
+
+    # -- observation ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "requests_served": self.requests_served,
+                "failures": self.failures,
+                "served_per_worker": list(self.served_per_worker),
+                "total_queue_wait_seconds": self.total_queue_wait_seconds,
+            }

@@ -6,11 +6,15 @@ capability of marking fragments of the page template, which can be
 cached individually and with different policies" (§6).
 
 Keys are opaque (the template engine uses (unit, bean-digest)); values
-are rendered HTML strings.  LRU bounded, optional TTL.
+are rendered HTML strings.  LRU bounded, optional TTL.  Thread-safe:
+lookups and stores hold the cache lock, and :meth:`get_or_render`
+single-flights the rendering of a missing fragment so concurrent
+requests for the same page fragment render it once.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.caching.stats import CacheStats
@@ -27,41 +31,87 @@ class FragmentCache:
         self.ttl_seconds = ttl_seconds
         self.clock = clock or SystemClock()
         self.stats = CacheStats()
+        self._lock = threading.RLock()
         self._entries: OrderedDict[object, tuple[str, float | None]] = OrderedDict()
+        self._flight_lock = threading.Lock()
+        self._in_flight: dict[object, threading.Event] = {}
+        self._generation = 0
 
     def get(self, key) -> str | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        html, expires_at = entry
-        if expires_at is not None and self.clock.now() >= expires_at:
-            del self._entries[key]
-            self.stats.expirations += 1
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return html
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.increment("misses")
+                return None
+            html, expires_at = entry
+            if expires_at is not None and self.clock.now() >= expires_at:
+                del self._entries[key]
+                self.stats.increment("expirations")
+                self.stats.increment("misses")
+                return None
+            self._entries.move_to_end(key)
+            self.stats.increment("hits")
+            return html
 
     def put(self, key, html: str) -> None:
-        expires_at = (
-            self.clock.now() + self.ttl_seconds
-            if self.ttl_seconds is not None else None
-        )
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = (html, expires_at)
-        self.stats.puts += 1
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            expires_at = (
+                self.clock.now() + self.ttl_seconds
+                if self.ttl_seconds is not None else None
+            )
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (html, expires_at)
+            self.stats.increment("puts")
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.increment("evictions")
+
+    def get_or_render(self, key, render) -> str:
+        """Return the cached fragment, or render it exactly once.
+
+        Concurrent requesters of a missing fragment wait for the first
+        thread's ``render()`` instead of all rendering; a ``flush``
+        issued meanwhile keeps the late result out of the cache.
+        """
+        first_attempt = True
+        while True:
+            html = self.get(key)
+            if html is not None:
+                if not first_attempt:
+                    self.stats.increment("coalesced")
+                return html
+            with self._flight_lock:
+                leader_event = self._in_flight.get(key)
+                if leader_event is None:
+                    my_event = threading.Event()
+                    self._in_flight[key] = my_event
+            if leader_event is not None:
+                leader_event.wait()
+                first_attempt = False
+                continue
+            try:
+                with self._lock:
+                    generation = self._generation
+                html = render()
+                if html is not None:
+                    with self._lock:
+                        if self._generation == generation:
+                            self.put(key, html)
+                return html
+            finally:
+                with self._flight_lock:
+                    del self._in_flight[key]
+                my_event.set()
 
     def flush(self) -> int:
-        count = len(self._entries)
-        self._entries.clear()
-        self.stats.invalidations += count
-        return count
+        with self._lock:
+            self._generation += 1
+            count = len(self._entries)
+            self._entries.clear()
+            self.stats.increment("invalidations", count)
+            return count
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -1,18 +1,27 @@
-"""Cache statistics."""
+"""Cache statistics.
+
+Counters are bumped through :meth:`AtomicCounters.increment` so that
+worker threads serving requests concurrently never lose an update.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.util.concurrency import AtomicCounters
+
 
 @dataclass
-class CacheStats:
+class CacheStats(AtomicCounters):
     hits: int = 0
     misses: int = 0
     puts: int = 0
     invalidations: int = 0
     evictions: int = 0
     expirations: int = 0
+    #: lookups that waited for another thread's in-flight computation
+    #: instead of recomputing (single-flight stampede protection)
+    coalesced: int = 0
 
     @property
     def lookups(self) -> int:
@@ -29,3 +38,4 @@ class CacheStats:
         self.invalidations = 0
         self.evictions = 0
         self.expirations = 0
+        self.coalesced = 0

@@ -10,6 +10,7 @@ information" (§1) that login units bind users into.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, quote, urlencode
 
@@ -97,51 +98,67 @@ def build_url(path: str, params: dict | None = None) -> str:
 
 class Session:
     """Per-client conversational state (the paper's state objects that
-    "persist between consecutive requests", §2)."""
+    "persist between consecutive requests", §2).
+
+    Mutations are lock-guarded: one user can have several in-flight
+    requests (frames, retries) served by different worker threads.
+    """
 
     def __init__(self, session_id: str):
         self.id = session_id
         self.attributes: dict = {}
         self.user_oid: int | None = None
         self.username: str | None = None
+        self._lock = threading.RLock()
 
     @property
     def is_authenticated(self) -> bool:
         return self.user_oid is not None
 
     def login(self, user_oid: int, username: str) -> None:
-        self.user_oid = user_oid
-        self.username = username
+        with self._lock:
+            self.user_oid = user_oid
+            self.username = username
 
     def logout(self) -> None:
-        self.user_oid = None
-        self.username = None
-        self.attributes.clear()
+        with self._lock:
+            self.user_oid = None
+            self.username = None
+            self.attributes.clear()
 
     def get(self, name: str, default=None):
-        return self.attributes.get(name, default)
+        with self._lock:
+            return self.attributes.get(name, default)
 
     def set(self, name: str, value) -> None:
-        self.attributes[name] = value
+        with self._lock:
+            self.attributes[name] = value
 
 
 class SessionStore:
-    """Creates and tracks sessions (a servlet container's session map)."""
+    """Creates and tracks sessions (a servlet container's session map).
+
+    Thread-safe: two concurrent first requests with the same (or no)
+    session id resolve to exactly one :class:`Session` object each."""
 
     def __init__(self) -> None:
         self._sessions: dict[str, Session] = {}
         self._ids = itertools.count(1)
+        self._lock = threading.RLock()
 
     def get_or_create(self, session_id: str | None) -> Session:
-        if session_id is not None and session_id in self._sessions:
-            return self._sessions[session_id]
-        new_id = session_id or f"s{next(self._ids)}"
-        session = Session(new_id)
-        self._sessions[new_id] = session
-        return session
+        with self._lock:
+            if session_id is not None and session_id in self._sessions:
+                return self._sessions[session_id]
+            new_id = session_id or f"s{next(self._ids)}"
+            session = Session(new_id)
+            self._sessions[new_id] = session
+            return session
 
     def invalidate(self, session_id: str) -> None:
-        self._sessions.pop(session_id, None)
+        with self._lock:
+            self._sessions.pop(session_id, None)
 
     def __len__(self) -> int:
-        return len(self._sessions)
+        with self._lock:
+            return len(self._sessions)

@@ -101,12 +101,19 @@ class PageTemplate:
                 f"(page {self.page_id!r})"
             )
         cache = context.fragment_cache if tag.get("fragment") == "cache" else None
+        renderer = renderer_for_tag(tag.tag)
         if cache is not None:
             key = self._fragment_key(unit_id, bean)
+            if hasattr(cache, "get_or_render"):
+                # Single-flight: concurrent misses render the fragment once.
+                html = cache.get_or_render(
+                    key,
+                    lambda: serialize(renderer.render(bean, tag, context)),
+                )
+                return parse_xml(html)
             cached = cache.get(key)
             if cached is not None:
                 return parse_xml(cached)
-        renderer = renderer_for_tag(tag.tag)
         rendered = renderer.render(bean, tag, context)
         if cache is not None:
             cache.put(self._fragment_key(unit_id, bean), serialize(rendered))

@@ -5,10 +5,18 @@ Java services talk to JDBC: acquire a connection from a pool, execute a
 parameterized statement through a cursor, read the rows, release the
 connection.  Positional (``?``) parameters are passed as a sequence,
 named (``:name``) parameters as a mapping.
+
+The pool is thread-safe: :meth:`ConnectionPool.acquire` blocks (with an
+optional timeout) while worker threads hold every connection, and keeps
+wait-time statistics the E7/E13 experiments read.  The old fail-fast
+behaviour — exhaustion raises instead of waiting — stays available via
+``acquire(block=False)``.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections.abc import Mapping, Sequence
 
 from repro.errors import DatabaseError
@@ -31,26 +39,42 @@ def normalize_params(params) -> dict:
 
 
 class Cursor:
-    """A lightweight DB-API-style cursor."""
+    """A lightweight DB-API-style cursor.
+
+    A cursor is bound to one *lease* of its connection: once the
+    connection returns to the pool, the stale cursor fails loudly
+    instead of silently operating on behalf of another borrower.
+    """
 
     def __init__(self, connection: "Connection"):
         self.connection = connection
+        self._lease = connection._lease
         self._result: ResultSet | None = None
         self.rowcount = -1
         self.lastrowid: int | None = None
         self._fetch_position = 0
 
-    def execute(self, sql: str, params=None) -> "Cursor":
+    def _require_live(self) -> Database:
         database = self.connection._require_open()
-        outcome = database.execute(sql, normalize_params(params))
+        if self._lease != self.connection._lease:
+            raise DatabaseError(
+                "cursor is stale: its connection was returned to the pool"
+            )
+        return database
+
+    def execute(self, sql: str, params=None) -> "Cursor":
+        database = self._require_live()
+        outcome = database.execute_outcome(sql, normalize_params(params))
         self._fetch_position = 0
-        if isinstance(outcome, ResultSet):
-            self._result = outcome
-            self.rowcount = len(outcome)
+        if isinstance(outcome.result, ResultSet):
+            self._result = outcome.result
+            self.rowcount = len(outcome.result)
         else:
             self._result = None
-            self.rowcount = outcome if isinstance(outcome, int) else -1
-        self.lastrowid = database.last_insert_id
+            self.rowcount = (
+                outcome.result if isinstance(outcome.result, int) else -1
+            )
+        self.lastrowid = outcome.last_insert_id
         return self
 
     @property
@@ -93,6 +117,7 @@ class Connection:
     def __init__(self, database: Database, pool: "ConnectionPool | None" = None):
         self._database: Database | None = database
         self._pool = pool
+        self._lease = 0  # bumped on every return to the pool
 
     def _require_open(self) -> Database:
         if self._database is None:
@@ -105,13 +130,21 @@ class Connection:
 
     def cursor(self) -> Cursor:
         self._require_open()
+        if self._pool is not None and not self._pool._is_leased(self):
+            raise DatabaseError(
+                "connection is idle in its pool; acquire it before use"
+            )
         return Cursor(self)
 
     def execute(self, sql: str, params=None) -> Cursor:
         return self.cursor().execute(sql, params)
 
     def close(self) -> None:
-        """Return to the pool if pooled, otherwise invalidate."""
+        """Return to the pool if pooled, otherwise invalidate.
+
+        Closing is idempotent: a second ``close()`` (a ``finally`` block
+        after an explicit release, say) is a no-op.
+        """
         if self._pool is not None:
             self._pool.release(self)
         else:
@@ -125,11 +158,13 @@ class Connection:
 
 
 class ConnectionPool:
-    """A fixed-size connection pool.
+    """A fixed-size, thread-safe connection pool.
 
-    ``acquire`` raises when the pool is exhausted — the application
-    server sizes its pools explicitly, and exhaustion is a signal the
-    experiments watch, not something to paper over.
+    ``acquire`` blocks while every connection is borrowed, waking as
+    soon as one is released; ``acquire(block=False)`` restores the
+    fail-fast exhaustion the E7 experiments watch, and ``timeout``
+    bounds the wait.  Wait episodes and waited seconds are counted so
+    benchmarks can report pool pressure.
     """
 
     def __init__(self, database: Database, size: int = 8):
@@ -137,28 +172,82 @@ class ConnectionPool:
             raise DatabaseError("pool size must be positive")
         self.database = database
         self.size = size
+        self._cond = threading.Condition()
         self._idle: list[Connection] = [Connection(database, self) for _ in range(size)]
+        self._owned: set[int] = {id(c) for c in self._idle}
         self._in_use: set[int] = set()
         self.acquired_total = 0
         self.peak_in_use = 0
+        #: acquires that found the pool empty and had to wait
+        self.wait_count = 0
+        #: cumulative seconds spent waiting for a free connection
+        self.total_wait_seconds = 0.0
+        #: waits that gave up (timeout expired or block=False)
+        self.exhausted_failures = 0
 
-    def acquire(self) -> Connection:
-        if not self._idle:
-            raise DatabaseError(
-                f"connection pool exhausted ({self.size} connections in use)"
-            )
-        connection = self._idle.pop()
-        self._in_use.add(id(connection))
-        self.acquired_total += 1
-        self.peak_in_use = max(self.peak_in_use, len(self._in_use))
-        return connection
+    def acquire(self, timeout: float | None = None,
+                block: bool = True) -> Connection:
+        with self._cond:
+            if not self._idle:
+                if not block:
+                    self.exhausted_failures += 1
+                    raise DatabaseError(
+                        f"connection pool exhausted ({self.size} connections in use)"
+                    )
+                started = time.monotonic()
+                deadline = None if timeout is None else started + timeout
+                self.wait_count += 1
+                while not self._idle:
+                    remaining = (
+                        None if deadline is None
+                        else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        self.total_wait_seconds += time.monotonic() - started
+                        self.exhausted_failures += 1
+                        raise DatabaseError(
+                            f"connection pool exhausted ({self.size} connections "
+                            f"in use; timed out after {timeout:.3f}s)"
+                        )
+                    self._cond.wait(remaining)
+                self.total_wait_seconds += time.monotonic() - started
+            connection = self._idle.pop()
+            self._in_use.add(id(connection))
+            self.acquired_total += 1
+            self.peak_in_use = max(self.peak_in_use, len(self._in_use))
+            return connection
 
     def release(self, connection: Connection) -> None:
-        if id(connection) not in self._in_use:
-            raise DatabaseError("releasing a connection not acquired from this pool")
-        self._in_use.remove(id(connection))
-        self._idle.append(connection)
+        with self._cond:
+            if id(connection) not in self._owned:
+                raise DatabaseError(
+                    "releasing a connection not acquired from this pool"
+                )
+            if id(connection) not in self._in_use:
+                return  # double close: idempotent
+            connection._lease += 1  # outstanding cursors go stale
+            self._in_use.remove(id(connection))
+            self._idle.append(connection)
+            self._cond.notify()
+
+    def _is_leased(self, connection: Connection) -> bool:
+        with self._cond:
+            return id(connection) in self._in_use
 
     @property
     def in_use(self) -> int:
-        return len(self._in_use)
+        with self._cond:
+            return len(self._in_use)
+
+    def wait_stats(self) -> dict:
+        """Pool-pressure counters for experiment reports."""
+        with self._cond:
+            return {
+                "size": self.size,
+                "in_use": len(self._in_use),
+                "acquired_total": self.acquired_total,
+                "peak_in_use": self.peak_in_use,
+                "wait_count": self.wait_count,
+                "total_wait_seconds": self.total_wait_seconds,
+                "exhausted_failures": self.exhausted_failures,
+            }

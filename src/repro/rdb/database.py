@@ -10,6 +10,8 @@ unit-bean cache spares (paper §6).
 from __future__ import annotations
 
 import contextlib
+import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import IntegrityError, QueryError, SchemaError
@@ -28,11 +30,16 @@ from repro.rdb.sqlparser import (
     parse_sql,
 )
 from repro.rdb.storage import TableStore
+from repro.util.concurrency import AtomicCounters, ReadWriteLock
 
 
 @dataclass
-class DatabaseStats:
-    """Cumulative statement counters (resettable)."""
+class DatabaseStats(AtomicCounters):
+    """Cumulative statement counters (resettable).
+
+    SELECT counters are bumped through :meth:`AtomicCounters.increment`
+    because reads run concurrently; write counters are serialized by the
+    database's write lock."""
 
     selects: int = 0
     inserts: int = 0
@@ -55,47 +62,100 @@ class DatabaseStats:
         self.per_table_writes[table] = self.per_table_writes.get(table, 0) + 1
 
 
+@dataclass
+class ExecutionOutcome:
+    """What one statement execution produced, self-contained.
+
+    Cursors read ``last_insert_id`` from here instead of from shared
+    database state, so concurrent inserts on different connections never
+    see each other's ids.
+    """
+
+    result: "ResultSet | int | None"
+    last_insert_id: int | None = None
+
+
 class Database:
-    """An in-memory relational database."""
+    """An in-memory relational database.
+
+    Thread safety: a readers-writer lock lets data-extraction queries
+    (SELECT) run concurrently while DML, DDL, and undo-log transactions
+    hold the write side alone.  A transaction holds the write lock from
+    ``begin`` until ``commit``/``rollback``, so its intermediate states
+    are invisible to readers.  ``last_insert_id`` is thread-local.
+    """
 
     def __init__(self, name: str = "main"):
         self.name = name
         self.tables: dict[str, TableStore] = {}
         self.stats = DatabaseStats()
-        self.last_insert_id: int | None = None
         self._plan_cache: dict[str, SelectPlan] = {}
+        self._plan_lock = threading.Lock()
         self._undo_log: list[tuple] | None = None
+        self._rwlock = ReadWriteLock()
+        self._exec_local = threading.local()
+        #: simulated network/disk round-trip per statement.  The paper's
+        #: data tier is a separate machine; sleeping here (outside the
+        #: locks) is what worker threads overlap, the way real threads
+        #: overlap JDBC waits.  Benchmarks set it; it defaults to off.
+        self.io_delay: float = 0.0
+
+    # -- per-thread execution state ---------------------------------------------
+
+    @property
+    def last_insert_id(self) -> int | None:
+        """The auto-increment id of the current *thread's* last insert."""
+        return getattr(self._exec_local, "last_insert_id", None)
+
+    @last_insert_id.setter
+    def last_insert_id(self, value: int | None) -> None:
+        self._exec_local.last_insert_id = value
 
     # -- transactions -----------------------------------------------------------
     # A single-level undo-log transaction (the autocommit JDBC world the
     # generated services target, plus explicit atomicity for operations).
     # DDL is not transactional; auto-increment counters do not roll back
-    # (like real sequences).
+    # (like real sequences).  The transaction owns the write lock for its
+    # whole extent, so concurrent readers either see none or all of it.
 
     def begin(self) -> None:
+        self._rwlock.acquire_write()
         if self._undo_log is not None:
+            self._rwlock.release_write()
             raise QueryError("a transaction is already active")
         self._undo_log = []
+
+    def _require_transaction_owner(self, verb: str) -> None:
+        if not self._rwlock.write_held_by_current_thread():
+            raise QueryError(
+                f"cannot {verb}: the transaction belongs to another thread"
+            )
 
     def commit(self) -> None:
         if self._undo_log is None:
             raise QueryError("no active transaction to commit")
+        self._require_transaction_owner("commit")
         self._undo_log = None
+        self._rwlock.release_write()
 
     def rollback(self) -> None:
         if self._undo_log is None:
             raise QueryError("no active transaction to roll back")
+        self._require_transaction_owner("roll back")
         log, self._undo_log = self._undo_log, None
-        for entry in reversed(log):
-            kind, table, row_id, row = entry
-            store = self.table(table)
-            if kind == "insert":
-                if row_id in store.rows:
-                    store.delete_row(row_id)
-            elif kind == "delete":
-                store.restore_row(row_id, row)
-            else:  # update
-                store.force_row(row_id, row)
+        try:
+            for entry in reversed(log):
+                kind, table, row_id, row = entry
+                store = self.table(table)
+                if kind == "insert":
+                    if row_id in store.rows:
+                        store.delete_row(row_id)
+                elif kind == "delete":
+                    store.restore_row(row_id, row)
+                else:  # update
+                    store.force_row(row_id, row)
+        finally:
+            self._rwlock.release_write()
 
     @contextlib.contextmanager
     def transaction(self):
@@ -122,14 +182,15 @@ class Database:
     # -- schema ---------------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> TableStore:
-        if schema.name in self.tables:
-            raise SchemaError(f"table {schema.name!r} already exists")
-        for fkey in schema.foreign_keys:
-            self._check_fk_target(schema.name, fkey)
-        store = TableStore(schema)
-        self.tables[schema.name] = store
-        self._plan_cache.clear()
-        return store
+        with self._rwlock.write_locked():
+            if schema.name in self.tables:
+                raise SchemaError(f"table {schema.name!r} already exists")
+            for fkey in schema.foreign_keys:
+                self._check_fk_target(schema.name, fkey)
+            store = TableStore(schema)
+            self.tables[schema.name] = store
+            self._clear_plan_cache()
+            return store
 
     def _check_fk_target(self, table: str, fkey: ForeignKey) -> None:
         # Self-references are resolved against the schema being created,
@@ -150,20 +211,21 @@ class Database:
                 )
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
-        if name not in self.tables:
-            if if_exists:
-                return
-            raise SchemaError(f"no table {name!r} to drop")
-        for other_name, other in self.tables.items():
-            if other_name == name:
-                continue
-            for fkey in other.schema.foreign_keys:
-                if fkey.target_table == name:
-                    raise SchemaError(
-                        f"cannot drop {name!r}: referenced by {other_name!r}"
-                    )
-        del self.tables[name]
-        self._plan_cache.clear()
+        with self._rwlock.write_locked():
+            if name not in self.tables:
+                if if_exists:
+                    return
+                raise SchemaError(f"no table {name!r} to drop")
+            for other_name, other in self.tables.items():
+                if other_name == name:
+                    continue
+                for fkey in other.schema.foreign_keys:
+                    if fkey.target_table == name:
+                        raise SchemaError(
+                            f"cannot drop {name!r}: referenced by {other_name!r}"
+                        )
+            del self.tables[name]
+            self._clear_plan_cache()
 
     def table(self, name: str) -> TableStore:
         store = self.tables.get(name)
@@ -179,33 +241,47 @@ class Database:
         Returns a :class:`ResultSet` for SELECT, the affected row count
         for DML, and ``None`` for DDL.
         """
+        if self.io_delay:
+            time.sleep(self.io_delay)  # the wire, not the engine: no lock held
         statement = parse_sql(sql) if isinstance(sql, str) else sql
         if isinstance(statement, Select):
-            plan = self._plan(statement, sql if isinstance(sql, str) else None)
-            result = plan.execute(params)
-            self.stats.selects += 1
-            self.stats.rows_read += len(result)
+            with self._rwlock.read_locked():
+                plan = self._plan(statement,
+                                  sql if isinstance(sql, str) else None)
+                result = plan.execute(params)
+            self.stats.increment("selects")
+            self.stats.increment("rows_read", len(result))
             return result
-        if isinstance(statement, Insert):
-            return self._execute_insert(statement, params or {})
-        if isinstance(statement, Update):
-            return self._execute_update(statement, params or {})
-        if isinstance(statement, Delete):
-            return self._execute_delete(statement, params or {})
-        if isinstance(statement, CreateTable):
-            self.create_table(statement.schema)
-            self.stats.ddl += 1
-            return None
-        if isinstance(statement, CreateIndex):
-            self.table(statement.table).add_index(statement.index)
-            self.stats.ddl += 1
-            self._plan_cache.clear()
-            return None
-        if isinstance(statement, DropTable):
-            self.drop_table(statement.table, statement.if_exists)
-            self.stats.ddl += 1
-            return None
+        with self._rwlock.write_locked():
+            if isinstance(statement, Insert):
+                return self._execute_insert(statement, params or {})
+            if isinstance(statement, Update):
+                return self._execute_update(statement, params or {})
+            if isinstance(statement, Delete):
+                return self._execute_delete(statement, params or {})
+            if isinstance(statement, CreateTable):
+                self.create_table(statement.schema)
+                self.stats.ddl += 1
+                return None
+            if isinstance(statement, CreateIndex):
+                self.table(statement.table).add_index(statement.index)
+                self.stats.ddl += 1
+                self._clear_plan_cache()
+                return None
+            if isinstance(statement, DropTable):
+                self.drop_table(statement.table, statement.if_exists)
+                self.stats.ddl += 1
+                return None
         raise QueryError(f"unsupported statement {statement!r}")
+
+    def execute_outcome(self, sql: str | Statement,
+                        params: dict | None = None) -> ExecutionOutcome:
+        """Like :meth:`execute`, but packages the per-execution state
+        (result plus ``last_insert_id``) so callers need not read shared
+        attributes afterwards."""
+        result = self.execute(sql, params)
+        return ExecutionOutcome(result=result,
+                                last_insert_id=self.last_insert_id)
 
     def query(self, sql: str, params: dict | None = None) -> ResultSet:
         """Execute a statement that must be a SELECT."""
@@ -215,12 +291,22 @@ class Database:
         return result
 
     def _plan(self, select: Select, cache_key: str | None) -> SelectPlan:
-        if cache_key is not None and cache_key in self._plan_cache:
-            return self._plan_cache[cache_key]
+        if cache_key is not None:
+            with self._plan_lock:
+                cached = self._plan_cache.get(cache_key)
+            if cached is not None:
+                return cached
         plan = SelectPlan(select, self.tables)
         if cache_key is not None:
-            self._plan_cache[cache_key] = plan
+            with self._plan_lock:
+                # Concurrent planners of the same statement: first in wins,
+                # so repeated executions share one plan object.
+                plan = self._plan_cache.setdefault(cache_key, plan)
         return plan
+
+    def _clear_plan_cache(self) -> None:
+        with self._plan_lock:
+            self._plan_cache.clear()
 
     def explain(self, sql: str) -> str:
         """EXPLAIN-style plan text for a SELECT (debugging aid for the
@@ -239,18 +325,19 @@ class Database:
     def insert_row(self, table: str, values: dict) -> dict:
         """Insert one row given a column→value mapping; returns the stored
         row (with auto-increment/default values filled in)."""
-        store = self.table(table)
-        row = store.prepare_row(values)
-        self._check_foreign_keys_outgoing(store, row)
-        row_id = store.insert_prepared(row)
-        self._record("insert", table, row_id)
-        self.stats.inserts += 1
-        self.stats.record_write(table)
-        auto = next(
-            (c.name for c in store.schema.columns if c.auto_increment), None
-        )
-        self.last_insert_id = row[auto] if auto else None
-        return dict(row)
+        with self._rwlock.write_locked():
+            store = self.table(table)
+            row = store.prepare_row(values)
+            self._check_foreign_keys_outgoing(store, row)
+            row_id = store.insert_prepared(row)
+            self._record("insert", table, row_id)
+            self.stats.inserts += 1
+            self.stats.record_write(table)
+            auto = next(
+                (c.name for c in store.schema.columns if c.auto_increment), None
+            )
+            self.last_insert_id = row[auto] if auto else None
+            return dict(row)
 
     def insert_rows(self, table: str, rows: list[dict]) -> int:
         for values in rows:
@@ -313,15 +400,16 @@ class Database:
 
     def delete_where(self, table: str, where_sql_row_filter=None) -> int:
         """Programmatic delete helper used by tests/seeders."""
-        store = self.table(table)
-        row_ids = [
-            rid for rid, row in list(store.rows.items())
-            if where_sql_row_filter is None or where_sql_row_filter(row)
-        ]
-        for row_id in row_ids:
-            if row_id in store.rows:
-                self._delete_with_actions(table, row_id)
-        return len(row_ids)
+        with self._rwlock.write_locked():
+            store = self.table(table)
+            row_ids = [
+                rid for rid, row in list(store.rows.items())
+                if where_sql_row_filter is None or where_sql_row_filter(row)
+            ]
+            for row_id in row_ids:
+                if row_id in store.rows:
+                    self._delete_with_actions(table, row_id)
+            return len(row_ids)
 
     def _delete_with_actions(self, table: str, row_id: int) -> None:
         store = self.table(table)

@@ -15,11 +15,15 @@ from repro.errors import ServiceError
 from repro.rdb import ConnectionPool, Database
 from repro.rdb.executor import ResultSet
 from repro.services.beans import UnitBean
+from repro.util.concurrency import AtomicCounters
 
 
 @dataclass
-class RuntimeStats:
-    """Counters the experiments read (E5 counts spared queries here)."""
+class RuntimeStats(AtomicCounters):
+    """Counters the experiments read (E5 counts spared queries here).
+
+    Updated through :meth:`AtomicCounters.increment` — worker threads
+    bump them concurrently."""
 
     pages_computed: int = 0
     units_computed: int = 0
@@ -46,6 +50,10 @@ class RuntimeContext:
     ``invalidate_writes(entities, roles)``.
     """
 
+    #: upper bound on waiting for a pooled connection — a safety net
+    #: against deadlocked workers, generous enough for real contention.
+    POOL_ACQUIRE_TIMEOUT = 30.0
+
     def __init__(
         self,
         database: Database,
@@ -64,17 +72,17 @@ class RuntimeContext:
 
     def query(self, sql: str, params: dict) -> ResultSet:
         """Run a data-extraction query through a pooled connection."""
-        connection = self.pool.acquire()
+        connection = self.pool.acquire(timeout=self.POOL_ACQUIRE_TIMEOUT)
         try:
             result = self.database.query(sql, params)
-            self.stats.queries_executed += 1
+            self.stats.increment("queries_executed")
             return result
         finally:
             connection.close()
 
     def execute(self, sql: str, params: dict) -> int:
         """Run a DML statement; returns affected row count."""
-        connection = self.pool.acquire()
+        connection = self.pool.acquire(timeout=self.POOL_ACQUIRE_TIMEOUT)
         try:
             outcome = self.database.execute(sql, params)
             if not isinstance(outcome, int):

@@ -56,26 +56,45 @@ class GenericUnitService:
             return UnitBean(descriptor.unit_id, descriptor.name, descriptor.kind)
 
         cache = self.ctx.bean_cache if descriptor.cacheable else None
-        cache_key = None
-        if cache is not None:
-            cache_key = self._cache_key(descriptor, prepared)
-            hit = cache.get(cache_key)
-            if hit is not None:
-                self.ctx.stats.bean_cache_hits += 1
-                return hit
-            self.ctx.stats.bean_cache_misses += 1
+        if cache is None:
+            bean = self._compute_fresh(descriptor, prepared, inputs)
+            self.ctx.stats.increment("units_computed")
+            return bean
 
-        bean = self._compute_fresh(descriptor, prepared, inputs)
-        self.ctx.stats.units_computed += 1
+        cache_key = self._cache_key(descriptor, prepared)
+        computed_fresh = False
 
-        if cache is not None and bean is not None:
-            cache.put(
-                cache_key,
-                bean,
+        def _fresh() -> UnitBean:
+            nonlocal computed_fresh
+            computed_fresh = True
+            bean = self._compute_fresh(descriptor, prepared, inputs)
+            self.ctx.stats.increment("units_computed")
+            return bean
+
+        if hasattr(cache, "get_or_compute"):
+            # Single-flight: under concurrent misses of the same key one
+            # thread computes, the rest wait and share the result.
+            bean = cache.get_or_compute(
+                cache_key, _fresh,
                 entities=descriptor.depends_on_entities,
                 roles=descriptor.depends_on_roles,
                 policy=descriptor.cache_policy,
             )
+        else:  # duck-typed caches keep the plain get/put protocol
+            bean = cache.get(cache_key)
+            if bean is None:
+                bean = _fresh()
+                if bean is not None:
+                    cache.put(
+                        cache_key, bean,
+                        entities=descriptor.depends_on_entities,
+                        roles=descriptor.depends_on_roles,
+                        policy=descriptor.cache_policy,
+                    )
+        if computed_fresh:
+            self.ctx.stats.increment("bean_cache_misses")
+        else:
+            self.ctx.stats.increment("bean_cache_hits")
         return bean
 
     def _compute_fresh(self, descriptor: UnitDescriptor, prepared: dict,

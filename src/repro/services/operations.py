@@ -38,7 +38,7 @@ class _StatementOperationService(OperationServiceBase):
         result = self._execute_statements(descriptor, inputs, ctx)
         if result.ok:
             ctx.database.commit()
-            ctx.stats.operations_executed += 1
+            ctx.stats.increment("operations_executed")
             self._after_success(descriptor, ctx)
         else:
             ctx.database.rollback()
@@ -161,7 +161,7 @@ class LoginOperationService(OperationServiceBase):
                 descriptor.operation_id, ok=False, message="invalid credentials"
             )
         session.login(user_oid=row["oid"], username=str(username))
-        ctx.stats.operations_executed += 1
+        ctx.stats.increment("operations_executed")
         return OperationResult(
             descriptor.operation_id, ok=True, outputs={"oid": row["oid"]}
         )
@@ -173,7 +173,7 @@ class LogoutOperationService(OperationServiceBase):
     def execute(self, descriptor: OperationDescriptor, inputs: dict,
                 ctx: RuntimeContext, session) -> OperationResult:
         session.logout()
-        ctx.stats.operations_executed += 1
+        ctx.stats.increment("operations_executed")
         return OperationResult(descriptor.operation_id, ok=True)
 
 

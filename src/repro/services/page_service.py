@@ -65,7 +65,7 @@ class GenericPageService:
             result.beans[unit_id] = self.unit_service.compute(
                 unit_descriptor, inputs
             )
-        self.ctx.stats.pages_computed += 1
+        self.ctx.stats.increment("pages_computed")
         return result
 
     def _resolve_inputs(

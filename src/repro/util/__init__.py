@@ -1,5 +1,6 @@
-"""Small shared utilities: naming, ordering, clocks."""
+"""Small shared utilities: naming, ordering, clocks, concurrency."""
 
+from repro.util.concurrency import AtomicCounters, ReadWriteLock
 from repro.util.identifiers import (
     camel_to_snake,
     make_identifier,
@@ -18,4 +19,6 @@ __all__ = [
     "CycleError",
     "VirtualClock",
     "SystemClock",
+    "ReadWriteLock",
+    "AtomicCounters",
 ]

@@ -162,6 +162,106 @@ class TestUnitBeanCache:
         assert len(cache) == 0
 
 
+# -- property-style oracle test ---------------------------------------------
+
+_KEYS = ("k0", "k1", "k2", "k3", "k4", "k5")
+_ENTITIES = ("Paper", "Volume", "Issue")
+
+_OPS = st.one_of(
+    st.tuples(st.just("put"), st.sampled_from(_KEYS),
+              st.sampled_from(_ENTITIES),
+              st.sampled_from(("model-driven", "ttl:10"))),
+    st.tuples(st.just("get"), st.sampled_from(_KEYS)),
+    st.tuples(st.just("invalidate"), st.sampled_from(_ENTITIES)),
+    st.tuples(st.just("advance"), st.integers(min_value=1, max_value=15)),
+)
+
+
+class _CacheOracle:
+    """A deliberately naive model of the §6 bean cache: a dict plus a
+    recency list, replayed operation by operation."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.now = 0.0
+        # key → (serial, entity, expires_at); insertion order = LRU order
+        self.entries: dict[str, tuple[int, str, float | None]] = {}
+
+    def put(self, key, serial, entity, policy):
+        expires = self.now + 10.0 if policy.startswith("ttl") else None
+        self.entries.pop(key, None)
+        self.entries[key] = (serial, entity, expires)
+        while len(self.entries) > self.capacity:
+            self.entries.pop(next(iter(self.entries)))
+
+    def get(self, key):
+        entry = self.entries.get(key)
+        if entry is None:
+            return None
+        serial, entity, expires = entry
+        if expires is not None and self.now >= expires:
+            del self.entries[key]
+            return None
+        # refresh recency
+        del self.entries[key]
+        self.entries[key] = (serial, entity, expires)
+        return serial
+
+    def invalidate(self, entity):
+        self.entries = {
+            k: v for k, v in self.entries.items() if v[1] != entity
+        }
+
+
+class TestBeanCacheProperties:
+    """Hypothesis-driven oracle test: arbitrary interleavings of put,
+    get, invalidate and clock advances must match a naive model — this
+    pins down TTL expiry, LRU eviction and dependency invalidation at
+    once."""
+
+    @given(st.lists(_OPS, min_size=1, max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def test_cache_matches_oracle(self, operations):
+        clock = VirtualClock()
+        capacity = 3
+        cache = UnitBeanCache(max_entries=capacity, clock=clock)
+        oracle = _CacheOracle(capacity)
+        serial = 0
+        for operation in operations:
+            if operation[0] == "put":
+                _, key, entity, policy = operation
+                serial += 1
+                bean = UnitBean(key, f"bean-{serial}", "data")
+                bean.serial = serial
+                cache.put(key, bean, entities=[entity], policy=policy)
+                oracle.put(key, serial, entity, policy)
+            elif operation[0] == "get":
+                _, key = operation
+                got = cache.get(key)
+                expected = oracle.get(key)
+                if expected is None:
+                    assert got is None
+                else:
+                    assert got is not None and got.serial == expected
+            elif operation[0] == "invalidate":
+                _, entity = operation
+                cache.invalidate_writes(entities=[entity])
+                oracle.invalidate(entity)
+            else:  # advance
+                _, seconds = operation
+                clock.advance(seconds)
+                oracle.now += seconds
+            assert len(cache) == len(oracle.entries)
+        # final sweep: every key agrees between cache and oracle
+        for key in _KEYS:
+            expected = oracle.get(key)
+            got = cache.get(key)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None and got.serial == expected
+
+
 class TestEndToEndCaching:
     """The §6 claims, exercised on the real application."""
 

@@ -368,8 +368,14 @@ class TestConnections:
         first = pool.acquire()
         second = pool.acquire()
         assert pool.in_use == 2
+        # fail-fast exhaustion (the E7 experiments watch this signal)
         with pytest.raises(DatabaseError, match="exhausted"):
-            pool.acquire()
+            pool.acquire(block=False)
+        # a bounded blocking acquire times out when nothing is released
+        with pytest.raises(DatabaseError, match="exhausted"):
+            pool.acquire(timeout=0.01)
+        assert pool.wait_count == 1
+        assert pool.exhausted_failures == 2
         first.close()  # returns to pool
         assert pool.in_use == 1
         third = pool.acquire()
@@ -377,6 +383,29 @@ class TestConnections:
         second.close()
         third.close()
         assert pool.peak_in_use == 2
+
+    def test_pool_release_is_idempotent(self, library):
+        pool = ConnectionPool(library, size=1)
+        connection = pool.acquire()
+        connection.close()
+        connection.close()  # double close: a no-op, not an error
+        assert pool.in_use == 0
+        assert pool.acquire(block=False) is connection
+
+    def test_stale_cursor_fails_loudly(self, library):
+        pool = ConnectionPool(library, size=1)
+        connection = pool.acquire()
+        cursor = connection.cursor()
+        cursor.execute("SELECT * FROM volume")
+        connection.close()
+        with pytest.raises(DatabaseError, match="stale"):
+            cursor.execute("SELECT * FROM volume")
+        with pytest.raises(DatabaseError, match="idle in its pool"):
+            connection.cursor()
+        # re-acquiring grants a fresh lease with working cursors
+        again = pool.acquire()
+        assert again.execute("SELECT * FROM volume").rowcount == 3
+        again.close()
 
     def test_pool_rejects_foreign_release(self, library):
         pool = ConnectionPool(library, size=1)
