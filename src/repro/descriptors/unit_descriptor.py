@@ -85,6 +85,10 @@ class UnitDescriptor:
     cacheable: bool = False
     cache_policy: str = "model-driven"
     optimized: bool = False
+    #: allow the runtime to rewrite per-instance queries into IN-list
+    #: batches; data experts can switch it off per descriptor when a
+    #: hand-optimised query must run exactly as written.
+    batched: bool = True
     custom_service: str | None = None  # §6: override the business component
 
     def input_for_slot(self, slot: str) -> InputParameter:
@@ -106,6 +110,8 @@ class UnitDescriptor:
             root.set("entity", self.entity)
         if self.optimized:
             root.set("optimized", "true")
+        if not self.batched:
+            root.set("batched", "false")
         if self.cacheable:
             root.set("cacheable", "true")
             root.set("cachePolicy", self.cache_policy)
@@ -168,6 +174,7 @@ class UnitDescriptor:
             cacheable=root.get("cacheable") == "true",
             cache_policy=root.get("cachePolicy", "model-driven"),
             optimized=root.get("optimized") == "true",
+            batched=root.get("batched", "true") == "true",
             custom_service=root.get("customService"),
         )
         inputs_el = root.find("inputs")

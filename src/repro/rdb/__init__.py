@@ -12,10 +12,12 @@ Layering (each module only imports the ones above it):
 - :mod:`repro.rdb.schema` — table/column/key/index definitions,
 - :mod:`repro.rdb.expr` — the expression AST with SQL three-valued logic,
 - :mod:`repro.rdb.sqlparser` — tokenizer + recursive-descent SQL parser,
-- :mod:`repro.rdb.storage` — heap row storage with hash indexes,
-- :mod:`repro.rdb.planner` / :mod:`repro.rdb.executor` — plan and run
-  SELECT statements (scans, filters, hash and nested-loop joins, grouping,
-  sorting, limits),
+- :mod:`repro.rdb.storage` — heap row storage with ordered hash indexes,
+- :mod:`repro.rdb.statistics` / :mod:`repro.rdb.cost` — ANALYZE
+  snapshots and the selectivity/cost model they feed,
+- :mod:`repro.rdb.planner` / :mod:`repro.rdb.executor` — cost-based
+  planning and execution of SELECT statements (index/range/IN scans,
+  filters, hash and nested-loop joins, grouping, sorting, limits),
 - :mod:`repro.rdb.database` — the engine facade with DDL/DML and
   constraint enforcement,
 - :mod:`repro.rdb.connection` — connections, cursors and a pool.
@@ -24,6 +26,7 @@ Layering (each module only imports the ones above it):
 from repro.rdb.connection import Connection, ConnectionPool, Cursor
 from repro.rdb.database import Database
 from repro.rdb.schema import Column, ForeignKey, Index, TableSchema
+from repro.rdb.statistics import ColumnStatistics, TableStatistics
 from repro.rdb.types import (
     BooleanType,
     DateType,
@@ -44,6 +47,8 @@ __all__ = [
     "Column",
     "ForeignKey",
     "Index",
+    "TableStatistics",
+    "ColumnStatistics",
     "SqlType",
     "IntegerType",
     "FloatType",

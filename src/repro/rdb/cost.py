@@ -1,0 +1,215 @@
+"""Selectivity and cost estimation for the SELECT planner.
+
+A deliberately small Selinger-style model: every predicate conjunct gets
+a selectivity in (0, 1], access paths and joins get a scalar cost, and
+the planner picks the cheapest alternative.  Estimates prefer ANALYZE
+statistics (:mod:`repro.rdb.statistics`) when a table has them and fall
+back to the classic fixed constants otherwise.  Base cardinality always
+comes from the *live* row count — it is free to read and never stale —
+while distributions (distinct counts, min/max) come from the snapshot.
+
+Only plan *shape* depends on these numbers; results never do, because
+every scan re-checks the predicate it consumed.
+"""
+
+from __future__ import annotations
+
+from repro.rdb.expr import (
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+)
+
+#: fixed fallback selectivities (System R's famous magic numbers)
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 0.3
+DEFAULT_LIKE_SELECTIVITY = 0.25
+DEFAULT_SELECTIVITY = 0.5
+
+#: cost units: reading one row during a scan costs 1; an index probe
+#: pays a small constant before touching its matching rows
+INDEX_PROBE_COST = 1.0
+#: building one hash-table entry / probing it
+HASH_BUILD_COST = 1.0
+HASH_PROBE_COST = 1.0
+
+_MIN_SELECTIVITY = 1e-4
+
+
+def clamp(selectivity: float) -> float:
+    return max(_MIN_SELECTIVITY, min(1.0, selectivity))
+
+
+def _column_of(expr: Expr) -> str | None:
+    return expr.column if isinstance(expr, ColumnRef) else None
+
+
+def _literal_value(expr: Expr):
+    """The plan-time value of a constant expression, or None when it is
+    parameter-dependent (plans are reused across parameter sets)."""
+    return expr.value if isinstance(expr, Literal) else None
+
+
+def _unique_on(store, column: str) -> bool:
+    for _name, index in store.iter_indexes():
+        if index.unique and index.columns == (column,):
+            return True
+    return False
+
+
+def _distinct(store, column: str) -> int | None:
+    """Distinct count for ``column``: statistics first, unique indexes
+    as a structural fallback."""
+    stats = store.statistics
+    if stats is not None:
+        column_stats = stats.column(column)
+        if column_stats is not None:
+            return max(1, column_stats.distinct)
+    if _unique_on(store, column):
+        return max(1, len(store.rows))
+    return None
+
+
+def equality_selectivity(store, column: str | None) -> float:
+    if column is not None:
+        distinct = _distinct(store, column)
+        if distinct is not None:
+            return clamp(1.0 / distinct)
+    return DEFAULT_EQ_SELECTIVITY
+
+
+def _interpolate(column_stats, low, high, low_inclusive, high_inclusive) -> float | None:
+    """Fraction of the [min, max] span covered by [low, high]; None when
+    the bounds are not numeric or no statistics apply."""
+    if column_stats is None or not column_stats.has_range:
+        return None
+    minimum, maximum = column_stats.minimum, column_stats.maximum
+    values = [v for v in (minimum, maximum, low, high) if v is not None]
+    if not all(isinstance(v, (int, float)) and not isinstance(v, bool)
+               for v in values):
+        return None
+    span = maximum - minimum
+    if span <= 0:
+        # single-valued column: the range either covers it or not
+        covered = ((low is None or low <= minimum)
+                   and (high is None or high >= maximum))
+        return 1.0 if covered else _MIN_SELECTIVITY
+    effective_low = minimum if low is None else max(low, minimum)
+    effective_high = maximum if high is None else min(high, maximum)
+    if effective_high < effective_low:
+        return _MIN_SELECTIVITY
+    return clamp((effective_high - effective_low) / span)
+
+
+def range_selectivity(store, column: str | None, low, high,
+                      low_inclusive: bool = True,
+                      high_inclusive: bool = True) -> float:
+    """Selectivity of ``low <= column <= high`` (either bound optional).
+    Plan-time constants interpolate against ANALYZE min/max; parameter
+    bounds fall back to the fixed range constant."""
+    if column is not None and store.statistics is not None:
+        fraction = _interpolate(
+            store.statistics.column(column), low, high,
+            low_inclusive, high_inclusive,
+        )
+        if fraction is not None:
+            return fraction
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+def null_selectivity(store, column: str | None, negated: bool) -> float:
+    stats = store.statistics
+    if column is not None and stats is not None and stats.row_count > 0:
+        column_stats = stats.column(column)
+        if column_stats is not None:
+            fraction = clamp(column_stats.null_count / stats.row_count)
+            return clamp(1.0 - fraction) if negated else fraction
+    return DEFAULT_EQ_SELECTIVITY
+
+
+def conjunct_selectivity(store, conjunct: Expr) -> float:
+    """Selectivity of one predicate conjunct against ``store``'s rows.
+
+    The conjunct is assumed to reference only this table; multi-table
+    conjuncts are estimated by their structure alone.
+    """
+    if isinstance(conjunct, Not):
+        return clamp(1.0 - conjunct_selectivity(store, conjunct.operand))
+    if isinstance(conjunct, Or):
+        left = conjunct_selectivity(store, conjunct.left)
+        right = conjunct_selectivity(store, conjunct.right)
+        return clamp(left + right - left * right)
+    if isinstance(conjunct, Comparison):
+        left_col = _column_of(conjunct.left)
+        right_col = _column_of(conjunct.right)
+        if conjunct.op == "=":
+            if left_col is not None and right_col is None:
+                return equality_selectivity(store, left_col)
+            if right_col is not None and left_col is None:
+                return equality_selectivity(store, right_col)
+            return DEFAULT_EQ_SELECTIVITY
+        if conjunct.op == "<>":
+            column = left_col or right_col
+            return clamp(1.0 - equality_selectivity(store, column))
+        # range comparison: put the column on the left mentally
+        if left_col is not None and right_col is None:
+            value = _literal_value(conjunct.right)
+            if conjunct.op in ("<", "<="):
+                return range_selectivity(store, left_col, None, value)
+            return range_selectivity(store, left_col, value, None)
+        if right_col is not None and left_col is None:
+            value = _literal_value(conjunct.left)
+            if conjunct.op in ("<", "<="):
+                return range_selectivity(store, right_col, value, None)
+            return range_selectivity(store, right_col, None, value)
+        return DEFAULT_RANGE_SELECTIVITY
+    if isinstance(conjunct, Between):
+        column = _column_of(conjunct.operand)
+        selectivity = range_selectivity(
+            store, column,
+            _literal_value(conjunct.low), _literal_value(conjunct.high),
+        )
+        return clamp(1.0 - selectivity) if conjunct.negated else selectivity
+    if isinstance(conjunct, InList):
+        column = _column_of(conjunct.operand)
+        per_value = equality_selectivity(store, column)
+        selectivity = clamp(per_value * len(conjunct.options))
+        return clamp(1.0 - selectivity) if conjunct.negated else selectivity
+    if isinstance(conjunct, IsNull):
+        return null_selectivity(
+            store, _column_of(conjunct.operand), conjunct.negated
+        )
+    if isinstance(conjunct, Like):
+        selectivity = DEFAULT_LIKE_SELECTIVITY
+        return clamp(1.0 - selectivity) if conjunct.negated else selectivity
+    if isinstance(conjunct, Literal):
+        return 1.0 if conjunct.value is True else _MIN_SELECTIVITY
+    return DEFAULT_SELECTIVITY
+
+
+def conjuncts_selectivity(store, conjuncts) -> float:
+    """Independence-assumption product over a conjunct list."""
+    selectivity = 1.0
+    for conjunct in conjuncts:
+        selectivity *= conjunct_selectivity(store, conjunct)
+    return clamp(selectivity)
+
+
+def join_distinct(store, columns: tuple[str, ...]) -> float:
+    """Estimated distinct key count on the build side of an equi-join."""
+    row_count = max(1, len(store.rows))
+    for _name, index in store.iter_indexes():
+        if index.unique and index.columns == tuple(columns):
+            return float(row_count)
+    estimates = [_distinct(store, column) for column in columns]
+    known = [e for e in estimates if e is not None]
+    if known:
+        return float(min(row_count, max(known)))
+    return float(max(1, row_count // 10))

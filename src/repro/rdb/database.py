@@ -19,6 +19,7 @@ from repro.rdb.executor import ResultSet, RowScope
 from repro.rdb.planner import SelectPlan
 from repro.rdb.schema import ForeignKey, TableSchema
 from repro.rdb.sqlparser import (
+    Analyze,
     CreateIndex,
     CreateTable,
     Delete,
@@ -29,6 +30,7 @@ from repro.rdb.sqlparser import (
     Update,
     parse_sql,
 )
+from repro.rdb.statistics import TableStatistics, collect_statistics
 from repro.rdb.storage import TableStore
 from repro.util.concurrency import AtomicCounters, ReadWriteLock
 
@@ -46,6 +48,7 @@ class DatabaseStats(AtomicCounters):
     updates: int = 0
     deletes: int = 0
     ddl: int = 0
+    analyzes: int = 0
     rows_read: int = 0
     per_table_writes: dict = field(default_factory=dict)
 
@@ -55,6 +58,7 @@ class DatabaseStats(AtomicCounters):
         self.updates = 0
         self.deletes = 0
         self.ddl = 0
+        self.analyzes = 0
         self.rows_read = 0
         self.per_table_writes = {}
 
@@ -189,7 +193,8 @@ class Database:
                 self._check_fk_target(schema.name, fkey)
             store = TableStore(schema)
             self.tables[schema.name] = store
-            self._clear_plan_cache()
+            # No plan invalidation: a plan referencing an unknown table
+            # never compiled, so no cached plan can involve a new table.
             return store
 
     def _check_fk_target(self, table: str, fkey: ForeignKey) -> None:
@@ -225,7 +230,7 @@ class Database:
                             f"cannot drop {name!r}: referenced by {other_name!r}"
                         )
             del self.tables[name]
-            self._clear_plan_cache()
+            self._invalidate_plans({name})
 
     def table(self, name: str) -> TableStore:
         store = self.tables.get(name)
@@ -245,13 +250,9 @@ class Database:
             time.sleep(self.io_delay)  # the wire, not the engine: no lock held
         statement = parse_sql(sql) if isinstance(sql, str) else sql
         if isinstance(statement, Select):
-            with self._rwlock.read_locked():
-                plan = self._plan(statement,
-                                  sql if isinstance(sql, str) else None)
-                result = plan.execute(params)
-            self.stats.increment("selects")
-            self.stats.increment("rows_read", len(result))
-            return result
+            return self._execute_select(
+                statement, sql if isinstance(sql, str) else None, params
+            )
         with self._rwlock.write_locked():
             if isinstance(statement, Insert):
                 return self._execute_insert(statement, params or {})
@@ -266,11 +267,14 @@ class Database:
             if isinstance(statement, CreateIndex):
                 self.table(statement.table).add_index(statement.index)
                 self.stats.ddl += 1
-                self._clear_plan_cache()
+                self._invalidate_plans({statement.table})
                 return None
             if isinstance(statement, DropTable):
                 self.drop_table(statement.table, statement.if_exists)
                 self.stats.ddl += 1
+                return None
+            if isinstance(statement, Analyze):
+                self._analyze_locked(statement.table)
                 return None
         raise QueryError(f"unsupported statement {statement!r}")
 
@@ -290,6 +294,25 @@ class Database:
             raise QueryError(f"expected a SELECT: {sql!r}")
         return result
 
+    def _execute_select(self, statement: Select, cache_key: str | None,
+                        params: dict | None) -> ResultSet:
+        with self._rwlock.read_locked():
+            plan = self._plan(statement, cache_key)
+            result = plan.execute(params)
+        self.stats.increment("selects")
+        self.stats.increment("rows_read", len(result))
+        return result
+
+    def query_statement(self, select: Select, params: dict | None = None,
+                        cache_key: str | None = None) -> ResultSet:
+        """Execute a pre-built SELECT AST, optionally caching its plan
+        under an explicit key (the service tier's batch loader rewrites
+        descriptor queries into ``IN``-list ASTs and reuses their plans
+        across requests)."""
+        if self.io_delay:
+            time.sleep(self.io_delay)  # the wire, not the engine: no lock held
+        return self._execute_select(select, cache_key, params)
+
     def _plan(self, select: Select, cache_key: str | None) -> SelectPlan:
         if cache_key is not None:
             with self._plan_lock:
@@ -304,21 +327,62 @@ class Database:
                 plan = self._plan_cache.setdefault(cache_key, plan)
         return plan
 
-    def _clear_plan_cache(self) -> None:
+    def _invalidate_plans(self, tables: set[str]) -> None:
+        """Drop cached plans that read any of ``tables`` — the scoped
+        replacement for wholesale cache clearing, so DDL or ANALYZE on
+        one table leaves every other table's compiled plans warm."""
         with self._plan_lock:
-            self._plan_cache.clear()
+            stale = [
+                key for key, plan in self._plan_cache.items()
+                if plan.tables & tables
+            ]
+            for key in stale:
+                del self._plan_cache[key]
+
+    def cached_plan_count(self) -> int:
+        with self._plan_lock:
+            return len(self._plan_cache)
 
     def explain(self, sql: str) -> str:
         """EXPLAIN-style plan text for a SELECT (debugging aid for the
-        §6 descriptor-query tuning workflow)."""
+        §6 descriptor-query tuning workflow); the cost-based plan comes
+        annotated with estimated rows/cost per operator."""
         return self.prepare(sql).explain()
 
-    def prepare(self, sql: str) -> SelectPlan:
-        """Compile a SELECT once for repeated execution (generic services)."""
+    def prepare(self, sql: str, optimize: bool = True) -> SelectPlan:
+        """Compile a SELECT once for repeated execution (generic
+        services).  ``optimize=False`` builds the naive seed plan — full
+        scans, declared join order — bypassing the plan cache; E14 uses
+        it as the before/after baseline."""
         statement = parse_sql(sql)
         if not isinstance(statement, Select):
             raise QueryError(f"prepare() only accepts SELECT: {sql!r}")
+        if not optimize:
+            return SelectPlan(statement, self.tables, optimize=False)
         return self._plan(statement, sql)
+
+    # -- statistics -----------------------------------------------------------
+
+    def analyze(self, table: str | None = None) -> None:
+        """Collect planner statistics for ``table`` (or every table),
+        then invalidate the cached plans that read the analyzed tables
+        so they re-plan against the fresh distributions."""
+        with self._rwlock.write_locked():
+            self._analyze_locked(table)
+
+    def _analyze_locked(self, table: str | None) -> None:
+        targets = [self.table(table)] if table is not None else list(
+            self.tables.values()
+        )
+        analyzed: set[str] = set()
+        for store in targets:
+            store.statistics = collect_statistics(store)
+            analyzed.add(store.schema.name)
+        self.stats.analyzes += 1
+        self._invalidate_plans(analyzed)
+
+    def statistics_for(self, table: str) -> TableStatistics | None:
+        return self.table(table).statistics
 
     # -- DML -----------------------------------------------------------------------
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import functools
 from collections.abc import Iterator
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import QueryError
 from repro.rdb.expr import (
@@ -63,6 +63,11 @@ class RowScope:
 class Operator:
     """Base plan operator."""
 
+    #: planner cost-model annotations shown by EXPLAIN (None when the
+    #: plan was built without estimation, e.g. naive mode)
+    est_rows: float | None = None
+    est_cost: float | None = None
+
     def rows(self, params: dict) -> Iterator[Bindings]:
         raise NotImplementedError
 
@@ -74,43 +79,137 @@ class Operator:
         return []
 
 
+@dataclass
+class AccessPath:
+    """How a scan reaches its rows.
+
+    ``kind`` is one of:
+
+    - ``seq``: walk the heap;
+    - ``eq``: probe an index with equality values for the leading
+      ``columns`` (full-width probes hash, shorter ones walk the sorted
+      prefix segment);
+    - ``range``: equality on a (possibly empty) prefix plus an interval
+      on the next index column;
+    - ``in``: equality prefix plus an ``IN``-list on the next column,
+      one probe per list element.
+
+    All value expressions are constant at row time (literals and
+    parameters), evaluated once per execution.
+    """
+
+    kind: str = "seq"
+    index: object | None = None
+    index_name: str | None = None
+    columns: tuple[str, ...] = ()
+    eq_exprs: tuple[Expr, ...] = ()
+    low: Expr | None = None
+    low_inclusive: bool = True
+    high: Expr | None = None
+    high_inclusive: bool = True
+    in_exprs: tuple[Expr, ...] = field(default_factory=tuple)
+
+
+_SEQ = AccessPath()
+
+
 class ScanOp(Operator):
-    """Full scan or, when ``eq_columns`` is set, an index-assisted
-    equality lookup (``eq_exprs`` are evaluated once per query)."""
+    """Table scan through an :class:`AccessPath`, re-checking any
+    predicate conjuncts the planner pushed down.
+
+    Index paths may return a *superset* of the qualifying rows (prefix
+    segments include trailing NULLs, bisection is estimate-free); the
+    pushed ``predicate`` re-check is what keeps every path honest, and
+    a ``None`` answer from the index degrades to a heap walk.
+    """
 
     def __init__(
         self,
         store: TableStore,
         binding: str,
-        eq_columns: tuple[str, ...] = (),
-        eq_exprs: tuple[Expr, ...] = (),
+        access: AccessPath | None = None,
+        predicate: Expr | None = None,
     ):
         self.store = store
         self.binding = binding
-        self.eq_columns = eq_columns
-        self.eq_exprs = eq_exprs
+        self.access = access or _SEQ
+        self.predicate = predicate
+        self._scope_columns = {binding: list(store.schema.column_names)}
+
+    @property
+    def eq_columns(self) -> tuple[str, ...]:
+        """The probed index columns of an equality path (compatibility
+        surface for plan introspection)."""
+        return self.access.columns if self.access.kind == "eq" else ()
 
     def describe(self) -> str:
-        if self.eq_columns:
-            keys = ", ".join(self.eq_columns)
-            return (f"IndexLookup({self.store.schema.name} AS {self.binding} "
-                    f"ON {keys})")
-        return f"SeqScan({self.store.schema.name} AS {self.binding})"
+        name = self.store.schema.name
+        if self.access.kind == "eq":
+            keys = ", ".join(self.access.columns)
+            return f"IndexLookup({name} AS {self.binding} ON {keys})"
+        if self.access.kind == "range":
+            keys = ", ".join(self.access.columns)
+            return f"IndexRange({name} AS {self.binding} ON {keys})"
+        if self.access.kind == "in":
+            keys = ", ".join(self.access.columns)
+            return f"IndexIn({name} AS {self.binding} ON {keys})"
+        return f"SeqScan({name} AS {self.binding})"
+
+    def _candidate_row_ids(self, params: dict) -> set[int] | None:
+        """Row ids selected by the access path; None means scan the heap."""
+        access = self.access
+        if access.kind == "seq":
+            return None
+        scope = RowScope({}, {})
+        prefix = tuple(
+            expr.evaluate(scope, params) for expr in access.eq_exprs
+        )
+        if any(value is None for value in prefix):
+            return set()  # an equality with NULL never matches
+        if access.kind == "eq":
+            return access.index.scan_prefix(prefix)
+        if access.kind == "range":
+            low = high = None
+            if access.low is not None:
+                low = access.low.evaluate(scope, params)
+                if low is None:
+                    return set()  # col > NULL is UNKNOWN everywhere
+            if access.high is not None:
+                high = access.high.evaluate(scope, params)
+                if high is None:
+                    return set()
+            return access.index.scan_range(
+                prefix, low, access.low_inclusive, high, access.high_inclusive
+            )
+        # IN-list: one probe per distinct non-NULL element
+        matches: set[int] = set()
+        for expr in access.in_exprs:
+            value = expr.evaluate(scope, params)
+            if value is None:
+                continue
+            found = access.index.scan_prefix(prefix + (value,))
+            if found is None:
+                return None
+            matches |= found
+        return matches
 
     def rows(self, params: dict) -> Iterator[Bindings]:
-        if self.eq_columns:
-            empty_scope = RowScope({}, {})
-            key = tuple(expr.evaluate(empty_scope, params) for expr in self.eq_exprs)
-            if any(v is None for v in key):
-                return  # NULL never equals anything
-            for row_id in self.store.find_by_key(self.eq_columns, key):
-                yield {self.binding: self.store.rows[row_id]}
-            return
-        # Iterate over a snapshot of ids so DML during iteration is safe.
-        for row_id in list(self.store.rows):
+        row_ids = self._candidate_row_ids(params)
+        if row_ids is None:
+            # Iterate over a snapshot of ids so DML during iteration is safe.
+            candidates = list(self.store.rows)
+        else:
+            candidates = sorted(row_ids)
+        for row_id in candidates:
             row = self.store.rows.get(row_id)
-            if row is not None:
-                yield {self.binding: row}
+            if row is None:
+                continue
+            bindings = {self.binding: row}
+            if self.predicate is not None:
+                scope = RowScope(bindings, self._scope_columns)
+                if self.predicate.evaluate(scope, params) is not True:
+                    continue
+            yield bindings
 
 
 class FilterOp(Operator):
@@ -134,7 +233,9 @@ class FilterOp(Operator):
 
 
 class NestedLoopJoinOp(Operator):
-    """Fallback join for non-equi ON conditions."""
+    """Fallback join for non-equi ON conditions.  A ``prefilter`` (the
+    planner-pushed conjuncts local to the new table) shrinks the inner
+    relation once per execution instead of once per outer row."""
 
     def __init__(
         self,
@@ -144,6 +245,7 @@ class NestedLoopJoinOp(Operator):
         condition: Expr,
         kind: str,
         columns_by_binding: dict[str, list[str]],
+        prefilter: Expr | None = None,
     ):
         self.left = left
         self.store = store
@@ -151,6 +253,8 @@ class NestedLoopJoinOp(Operator):
         self.condition = condition
         self.kind = kind
         self.columns_by_binding = columns_by_binding
+        self.prefilter = prefilter
+        self._own_columns = {binding: list(store.schema.column_names)}
 
     def describe(self) -> str:
         return (f"NestedLoopJoin({self.kind} {self.store.schema.name} "
@@ -159,8 +263,19 @@ class NestedLoopJoinOp(Operator):
     def children(self) -> list[Operator]:
         return [self.left]
 
+    def _inner_rows(self, params: dict) -> list[dict]:
+        rows = list(self.store.rows.values())
+        if self.prefilter is None:
+            return rows
+        kept = []
+        for row in rows:
+            scope = RowScope({self.binding: row}, self._own_columns)
+            if self.prefilter.evaluate(scope, params) is True:
+                kept.append(row)
+        return kept
+
     def rows(self, params: dict) -> Iterator[Bindings]:
-        right_rows = list(self.store.rows.values())
+        right_rows = self._inner_rows(params)
         for bindings in self.left.rows(params):
             matched = False
             for row in right_rows:
@@ -191,6 +306,7 @@ class HashJoinOp(Operator):
         residual: Expr | None,
         kind: str,
         columns_by_binding: dict[str, list[str]],
+        prefilter: Expr | None = None,
     ):
         self.left = left
         self.store = store
@@ -200,6 +316,8 @@ class HashJoinOp(Operator):
         self.residual = residual
         self.kind = kind
         self.columns_by_binding = columns_by_binding
+        self.prefilter = prefilter
+        self._own_columns = {binding: list(store.schema.column_names)}
 
     def describe(self) -> str:
         keys = ", ".join(self.build_columns)
@@ -212,6 +330,10 @@ class HashJoinOp(Operator):
     def rows(self, params: dict) -> Iterator[Bindings]:
         table: dict[tuple, list[dict]] = {}
         for row in self.store.rows.values():
+            if self.prefilter is not None:
+                scope = RowScope({self.binding: row}, self._own_columns)
+                if self.prefilter.evaluate(scope, params) is not True:
+                    continue
             key = tuple(row[c] for c in self.build_columns)
             if any(v is None for v in key):
                 continue

@@ -5,15 +5,28 @@
 are reusable across requests — the generic unit services compile each
 descriptor's query a single time and re-execute it per request.
 
-Planning heuristics (deliberately simple but real):
+Planning is cost-based (:mod:`repro.rdb.cost`):
 
-- single-table equality predicates on an indexed column (or primary key)
-  become index-assisted scans,
-- joins whose ON contains equi-conditions between the new table and the
-  tables already joined become hash joins; anything else falls back to a
-  nested loop,
-- the full WHERE is re-applied after the joins (re-checking a consumed
-  equality is cheap and keeps the planner honest).
+- the WHERE clause and inner-join ON conditions are split into
+  conjuncts, each resolved to the set of table bindings it references;
+- single-table conjuncts are pushed down: onto the base scan (where
+  they also select an access path — sequential scan, exact index
+  lookup, sorted range scan, or ``IN``-list probe, whichever the cost
+  model prices cheapest) and onto join build sides as prefilters;
+- inner joins are greedily reordered by estimated cardinality
+  (smallest filtered table first, then the cheapest connected
+  extension), falling back to the declared order when the join graph
+  has no connecting equi-condition;
+- every pushed conjunct is re-checked where it lands, so index paths
+  may safely return supersets and estimation errors can never change
+  results — only plan shape;
+- LEFT JOIN queries keep the declared order and only take the
+  semantically safe pushdowns (base-scan conjuncts, build-side
+  prefilters from conjuncts local to the joined table).
+
+``optimize=False`` rebuilds the seed's naive plan — full scans except
+exact-equality index matches, declared join order, one final WHERE
+filter — which E14 uses as its baseline.
 """
 
 from __future__ import annotations
@@ -21,7 +34,9 @@ from __future__ import annotations
 from collections.abc import Mapping
 
 from repro.errors import QueryError
+from repro.rdb import cost
 from repro.rdb.executor import (
+    AccessPath,
     Bindings,
     FilterOp,
     HashJoinOp,
@@ -35,7 +50,16 @@ from repro.rdb.executor import (
     compute_aggregate,
     substitute_aggregates,
 )
-from repro.rdb.expr import AggregateCall, And, ColumnRef, Comparison, Expr
+from repro.rdb.expr import (
+    AggregateCall,
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+)
 from repro.rdb.sqlparser import Select
 from repro.rdb.storage import TableStore
 from repro.util import unique_name
@@ -58,16 +82,33 @@ def _and_all(parts: list[Expr]) -> Expr | None:
     return combined
 
 
+def _constant(expr: Expr) -> bool:
+    """Constant at plan scope: literals, parameters, and compositions
+    thereof — anything without a column reference."""
+    return not expr.column_refs()
+
+
 class SelectPlan:
-    def __init__(self, select: Select, stores: Mapping[str, TableStore]):
+    def __init__(self, select: Select, stores: Mapping[str, TableStore],
+                 optimize: bool = True):
         self.select = select
         self.stores = stores
+        self.optimize = optimize
         self.columns_by_binding: dict[str, list[str]] = {}
         self._binding_order: list[str] = []
+        self._table_by_binding: dict[str, str] = {}
         self._register_binding(select.source.binding, select.source.table)
         for join in select.joins:
             self._register_binding(join.table.binding, join.table.table)
-        self.root = self._build_tree()
+        #: the real table names this plan reads — scoped plan-cache
+        #: invalidation drops exactly the plans whose set intersects a
+        #: DDL/ANALYZE statement's target
+        self.tables = frozenset(self._table_by_binding.values())
+        self.needed_columns = self._compute_needed_columns()
+        if optimize:
+            self.root = self._build_tree()
+        else:
+            self.root = self._build_tree_naive()
         self.output_columns, self._projection = self._build_projection()
 
     def _store(self, table: str) -> TableStore:
@@ -81,10 +122,500 @@ class SelectPlan:
         store = self._store(table)
         self.columns_by_binding[binding] = list(store.schema.column_names)
         self._binding_order.append(binding)
+        self._table_by_binding[binding] = table
 
-    # -- operator tree -------------------------------------------------------
+    def _binding_store(self, binding: str) -> TableStore:
+        return self.stores[self._table_by_binding[binding]]
+
+    # -- conjunct analysis ---------------------------------------------------
+
+    def _conjunct_bindings(self, conjunct: Expr) -> frozenset[str] | None:
+        """The bindings ``conjunct`` references, or None when a reference
+        is unknown or ambiguous — such conjuncts stay in the final filter
+        so execution raises the same error the evaluator always did."""
+        bindings: set[str] = set()
+        for ref in conjunct.column_refs():
+            if ref.table is not None:
+                columns = self.columns_by_binding.get(ref.table)
+                if columns is None or ref.column not in columns:
+                    return None
+                bindings.add(ref.table)
+            else:
+                owners = [
+                    binding
+                    for binding, columns in self.columns_by_binding.items()
+                    if ref.column in columns
+                ]
+                if len(owners) != 1:
+                    return None
+                bindings.add(owners[0])
+        return frozenset(bindings)
+
+    def _column_binding(self, ref: ColumnRef) -> str | None:
+        if ref.table is not None:
+            return ref.table if ref.table in self.columns_by_binding else None
+        owners = [
+            binding
+            for binding, columns in self.columns_by_binding.items()
+            if ref.column in columns
+        ]
+        return owners[0] if len(owners) == 1 else None
+
+    def _equi_split(
+        self, conjunct: Expr, new_binding: str, available: set[str]
+    ) -> tuple[Expr, str] | None:
+        """Match ``new.col = <expr over available bindings>`` (either
+        side) and return (probe expr, build column)."""
+        if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+            return None
+        for col_side, probe_side in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            if not isinstance(col_side, ColumnRef):
+                continue
+            if self._column_binding(col_side) != new_binding:
+                continue
+            probe_bindings = self._conjunct_bindings(probe_side)
+            if probe_bindings is None or not probe_bindings:
+                continue
+            if probe_bindings <= available:
+                return probe_side, col_side.column
+        return None
+
+    # -- access-path selection ------------------------------------------------
+
+    def _local_equalities(self, store: TableStore,
+                          conjuncts: list[Expr]) -> dict[str, Expr]:
+        """column -> constant expression, from ``col = const`` conjuncts."""
+        found: dict[str, Expr] = {}
+        for conjunct in conjuncts:
+            if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+                continue
+            for col_side, const_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if (
+                    isinstance(col_side, ColumnRef)
+                    and store.schema.has_column(col_side.column)
+                    and _constant(const_side)
+                ):
+                    found.setdefault(col_side.column, const_side)
+                    break
+        return found
+
+    def _local_range(self, column: str, conjuncts: list[Expr]):
+        """(low, low_inclusive, high, high_inclusive) bounds on
+        ``column`` from range conjuncts with constant bounds."""
+        low = high = None
+        low_inclusive = high_inclusive = True
+        for conjunct in conjuncts:
+            if (
+                isinstance(conjunct, Between)
+                and not conjunct.negated
+                and isinstance(conjunct.operand, ColumnRef)
+                and conjunct.operand.column == column
+                and _constant(conjunct.low)
+                and _constant(conjunct.high)
+            ):
+                if low is None:
+                    low, low_inclusive = conjunct.low, True
+                if high is None:
+                    high, high_inclusive = conjunct.high, True
+                continue
+            if not isinstance(conjunct, Comparison):
+                continue
+            if conjunct.op not in ("<", "<=", ">", ">="):
+                continue
+            left, right = conjunct.left, conjunct.right
+            if (isinstance(left, ColumnRef) and left.column == column
+                    and _constant(right)):
+                if conjunct.op in (">", ">=") and low is None:
+                    low, low_inclusive = right, conjunct.op == ">="
+                elif conjunct.op in ("<", "<=") and high is None:
+                    high, high_inclusive = right, conjunct.op == "<="
+            elif (isinstance(right, ColumnRef) and right.column == column
+                    and _constant(left)):
+                # const OP col: flip the operator
+                if conjunct.op in ("<", "<=") and low is None:
+                    low, low_inclusive = left, conjunct.op == "<="
+                elif conjunct.op in (">", ">=") and high is None:
+                    high, high_inclusive = left, conjunct.op == ">="
+        return low, low_inclusive, high, high_inclusive
+
+    def _local_in_list(self, column: str,
+                       conjuncts: list[Expr]) -> tuple[Expr, ...] | None:
+        for conjunct in conjuncts:
+            if (
+                isinstance(conjunct, InList)
+                and not conjunct.negated
+                and isinstance(conjunct.operand, ColumnRef)
+                and conjunct.operand.column == column
+                and all(_constant(option) for option in conjunct.options)
+            ):
+                return conjunct.options
+        return None
+
+    def _choose_access_path(
+        self, store: TableStore, conjuncts: list[Expr]
+    ) -> tuple[AccessPath, float, float]:
+        """The cheapest access path for a scan with ``conjuncts`` pushed
+        onto it; returns (path, estimated output rows, estimated cost).
+
+        An empty (typically not-yet-seeded) table is costed as if it had
+        a few rows, so a plan cached before the bulk load still picks
+        the index it will want afterwards."""
+        live = len(store.rows) or 10
+        output = live * cost.conjuncts_selectivity(store, conjuncts)
+        best_path = AccessPath()
+        best_cost = float(live)
+        equalities = self._local_equalities(store, conjuncts)
+        for name, index in store.iter_indexes():
+            prefix_exprs: list[Expr] = []
+            prefix_selectivity = 1.0
+            for column in index.columns:
+                expr = equalities.get(column)
+                if expr is None:
+                    break
+                prefix_exprs.append(expr)
+                prefix_selectivity *= cost.equality_selectivity(store, column)
+            width = len(prefix_exprs)
+            if width:
+                matching = live * prefix_selectivity
+                candidate_cost = cost.INDEX_PROBE_COST + matching
+                if candidate_cost < best_cost:
+                    best_cost = candidate_cost
+                    best_path = AccessPath(
+                        kind="eq", index=index, index_name=name,
+                        columns=index.columns[:width],
+                        eq_exprs=tuple(prefix_exprs),
+                    )
+            if width >= len(index.columns):
+                continue
+            next_column = index.columns[width]
+            low, low_inc, high, high_inc = self._local_range(
+                next_column, conjuncts
+            )
+            if low is not None or high is not None:
+                range_selectivity = cost.range_selectivity(
+                    store, next_column,
+                    low.value if isinstance(low, Literal) else None,
+                    high.value if isinstance(high, Literal) else None,
+                    low_inc, high_inc,
+                )
+                matching = live * prefix_selectivity * range_selectivity
+                candidate_cost = cost.INDEX_PROBE_COST + matching
+                if candidate_cost < best_cost:
+                    best_cost = candidate_cost
+                    best_path = AccessPath(
+                        kind="range", index=index, index_name=name,
+                        columns=index.columns[: width + 1],
+                        eq_exprs=tuple(prefix_exprs),
+                        low=low, low_inclusive=low_inc,
+                        high=high, high_inclusive=high_inc,
+                    )
+            in_options = self._local_in_list(next_column, conjuncts)
+            if in_options:
+                per_value = cost.equality_selectivity(store, next_column)
+                selectivity = cost.clamp(
+                    prefix_selectivity * per_value * len(in_options)
+                )
+                matching = live * selectivity
+                candidate_cost = (
+                    len(in_options) * cost.INDEX_PROBE_COST + matching
+                )
+                if candidate_cost < best_cost:
+                    best_cost = candidate_cost
+                    best_path = AccessPath(
+                        kind="in", index=index, index_name=name,
+                        columns=index.columns[: width + 1],
+                        eq_exprs=tuple(prefix_exprs),
+                        in_exprs=tuple(in_options),
+                    )
+        return best_path, output, best_cost
+
+    # -- operator tree (cost-based) -------------------------------------------
 
     def _build_tree(self) -> Operator:
+        select = self.select
+        if any(join.kind != "inner" for join in select.joins):
+            return self._build_tree_mixed()
+        return self._build_tree_inner()
+
+    def _classify(self, conjuncts: list[Expr]):
+        """Split conjuncts into per-binding local lists, multi-binding
+        pairs, and unresolvable leftovers."""
+        local: dict[str, list[Expr]] = {b: [] for b in self._binding_order}
+        multi: list[tuple[Expr, frozenset[str]]] = []
+        leftover: list[Expr] = []
+        for conjunct in conjuncts:
+            bindings = self._conjunct_bindings(conjunct)
+            if bindings is None:
+                leftover.append(conjunct)
+            elif len(bindings) == 1:
+                local[next(iter(bindings))].append(conjunct)
+            elif len(bindings) == 0:
+                # parameter-only conjunct: evaluate it at the base scan
+                local[self._binding_order[0]].append(conjunct)
+            else:
+                multi.append((conjunct, bindings))
+        return local, multi, leftover
+
+    def _local_estimates(self, local: dict[str, list[Expr]]) -> dict[str, float]:
+        estimates = {}
+        for binding in self._binding_order:
+            store = self._binding_store(binding)
+            estimates[binding] = len(store.rows) * cost.conjuncts_selectivity(
+                store, local[binding]
+            )
+        return estimates
+
+    def _greedy_order(
+        self,
+        local: dict[str, list[Expr]],
+        multi: list[tuple[Expr, frozenset[str]]],
+    ) -> list[str] | None:
+        """Selinger-lite greedy join order: start from the smallest
+        filtered table, repeatedly add the equi-connected table with the
+        cheapest estimated join output.  None when the graph disconnects
+        (then the declared order stands)."""
+        estimates = self._local_estimates(local)
+        position = {b: i for i, b in enumerate(self._binding_order)}
+        start = min(self._binding_order,
+                    key=lambda b: (estimates[b], position[b]))
+        order = [start]
+        joined = {start}
+        cardinality = max(estimates[start], cost.clamp(0.0))
+        remaining = [b for b in self._binding_order if b != start]
+        while remaining:
+            best = None
+            for candidate in remaining:
+                build_columns = []
+                for conjunct, bindings in multi:
+                    if candidate not in bindings:
+                        continue
+                    if not bindings <= joined | {candidate}:
+                        continue
+                    pair = self._equi_split(conjunct, candidate, joined)
+                    if pair is not None:
+                        build_columns.append(pair[1])
+                if not build_columns:
+                    continue
+                store = self._binding_store(candidate)
+                distinct = cost.join_distinct(store, tuple(build_columns))
+                output = cardinality * estimates[candidate] / max(distinct, 1.0)
+                key = (output, position[candidate])
+                if best is None or key < best[0]:
+                    best = (key, candidate, output)
+            if best is None:
+                return None  # disconnected: keep the declared order
+            _, chosen, output = best
+            order.append(chosen)
+            joined.add(chosen)
+            cardinality = output
+            remaining.remove(chosen)
+        return order
+
+    def _build_tree_inner(self) -> Operator:
+        select = self.select
+        pool = _conjuncts(select.where)
+        for join in select.joins:
+            pool.extend(_conjuncts(join.condition))
+        local, multi, leftover = self._classify(pool)
+
+        order = self._binding_order
+        if len(order) > 1:
+            greedy = self._greedy_order(local, multi)
+            if greedy is not None:
+                order = greedy
+
+        base = order[0]
+        base_store = self._binding_store(base)
+        base_conjuncts = local[base]
+        if base != self._binding_order[0]:
+            # parameter-only conjuncts were filed under the declared
+            # base; keep them with whatever scan now runs first
+            moved = [c for c in local[self._binding_order[0]]
+                     if not c.column_refs()]
+            base_conjuncts = base_conjuncts + moved
+            local[self._binding_order[0]] = [
+                c for c in local[self._binding_order[0]] if c.column_refs()
+            ]
+        access, est_rows, est_cost = self._choose_access_path(
+            base_store, base_conjuncts
+        )
+        root: Operator = ScanOp(
+            base_store, base, access, _and_all(base_conjuncts)
+        )
+        root.est_rows, root.est_cost = est_rows, est_cost
+
+        available = {base}
+        cardinality, total_cost = est_rows, est_cost
+        unplaced = list(multi)
+        for binding in order[1:]:
+            store = self._binding_store(binding)
+            here: list[tuple[Expr, frozenset[str]]] = []
+            rest_pool: list[tuple[Expr, frozenset[str]]] = []
+            for conjunct, bindings in unplaced:
+                if bindings <= available | {binding}:
+                    here.append((conjunct, bindings))
+                else:
+                    rest_pool.append((conjunct, bindings))
+            unplaced = rest_pool
+            probe_exprs: list[Expr] = []
+            build_columns: list[str] = []
+            residual: list[Expr] = []
+            for conjunct, _bindings in here:
+                pair = self._equi_split(conjunct, binding, available)
+                if pair is not None:
+                    probe_exprs.append(pair[0])
+                    build_columns.append(pair[1])
+                else:
+                    residual.append(conjunct)
+            prefilter = _and_all(local[binding])
+            build_est = len(store.rows) * cost.conjuncts_selectivity(
+                store, local[binding]
+            )
+            residual_selectivity = cost.conjuncts_selectivity(store, residual)
+            if probe_exprs:
+                root = HashJoinOp(
+                    root, store, binding, tuple(probe_exprs),
+                    tuple(build_columns), _and_all(residual), "inner",
+                    self.columns_by_binding, prefilter,
+                )
+                distinct = cost.join_distinct(store, tuple(build_columns))
+                output = (cardinality * build_est / max(distinct, 1.0)
+                          * residual_selectivity)
+                step_cost = (
+                    len(store.rows) * cost.HASH_BUILD_COST
+                    + cardinality * cost.HASH_PROBE_COST + output
+                )
+            else:
+                condition = _and_all(residual) or Literal(True)
+                root = NestedLoopJoinOp(
+                    root, store, binding, condition, "inner",
+                    self.columns_by_binding, prefilter,
+                )
+                output = cardinality * build_est * residual_selectivity
+                step_cost = len(store.rows) + cardinality * build_est
+            total_cost += step_cost
+            cardinality = output
+            root.est_rows, root.est_cost = cardinality, total_cost
+            available.add(binding)
+
+        final = [conjunct for conjunct, _ in unplaced] + leftover
+        if final:
+            root = FilterOp(root, _and_all(final), self.columns_by_binding)
+            root.est_rows, root.est_cost = cardinality, total_cost
+        return root
+
+    def _build_tree_mixed(self) -> Operator:
+        """Declared-order plan for queries with LEFT joins: only the
+        provably safe pushdowns are taken.  A WHERE conjunct touching a
+        left-joined binding must see the null-padded row, so it stays in
+        the final filter; a LEFT join's ON conjuncts never leave the
+        join except as build-side prefilters (they decide matching, not
+        row survival)."""
+        select = self.select
+        left_bindings = {
+            join.table.binding for join in select.joins if join.kind == "left"
+        }
+        local, multi, leftover = self._classify(_conjuncts(select.where))
+        final: list[Expr] = list(leftover)
+        for binding in left_bindings:
+            final.extend(local.pop(binding, []))
+            local[binding] = []
+        placed_multi: list[tuple[Expr, frozenset[str]]] = []
+        for conjunct, bindings in multi:
+            if bindings & left_bindings:
+                final.append(conjunct)
+            else:
+                placed_multi.append((conjunct, bindings))
+
+        base = self._binding_order[0]
+        base_store = self._binding_store(base)
+        access, est_rows, est_cost = self._choose_access_path(
+            base_store, local[base]
+        )
+        root: Operator = ScanOp(base_store, base, access, _and_all(local[base]))
+        root.est_rows, root.est_cost = est_rows, est_cost
+
+        available = {base}
+        cardinality, total_cost = est_rows, est_cost
+        unplaced = list(placed_multi)
+        for join in select.joins:
+            binding = join.table.binding
+            store = self._binding_store(binding)
+            probe_exprs: list[Expr] = []
+            build_columns: list[str] = []
+            residual: list[Expr] = []
+            prefilter_parts: list[Expr] = []
+            for conjunct in _conjuncts(join.condition):
+                bindings = self._conjunct_bindings(conjunct)
+                if bindings == frozenset({binding}):
+                    prefilter_parts.append(conjunct)
+                    continue
+                pair = self._equi_split(conjunct, binding, available)
+                if pair is not None:
+                    probe_exprs.append(pair[0])
+                    build_columns.append(pair[1])
+                else:
+                    residual.append(conjunct)
+            if join.kind == "inner":
+                # WHERE conjuncts local to this inner table prefilter the
+                # build side; covered multi-binding WHERE conjuncts join
+                # the residual (inner residual == filter semantics)
+                prefilter_parts.extend(local[binding])
+                still: list[tuple[Expr, frozenset[str]]] = []
+                for conjunct, bindings in unplaced:
+                    if bindings <= available | {binding}:
+                        residual.append(conjunct)
+                    else:
+                        still.append((conjunct, bindings))
+                unplaced = still
+            prefilter = _and_all(prefilter_parts)
+            build_est = len(store.rows) * cost.conjuncts_selectivity(
+                store, prefilter_parts
+            )
+            if probe_exprs:
+                root = HashJoinOp(
+                    root, store, binding, tuple(probe_exprs),
+                    tuple(build_columns), _and_all(residual), join.kind,
+                    self.columns_by_binding, prefilter,
+                )
+                distinct = cost.join_distinct(store, tuple(build_columns))
+                output = cardinality * build_est / max(distinct, 1.0)
+                step_cost = (
+                    len(store.rows) * cost.HASH_BUILD_COST
+                    + cardinality * cost.HASH_PROBE_COST + output
+                )
+            else:
+                condition = _and_all(residual) or Literal(True)
+                root = NestedLoopJoinOp(
+                    root, store, binding, condition, join.kind,
+                    self.columns_by_binding, prefilter,
+                )
+                output = cardinality * build_est
+                step_cost = len(store.rows) + cardinality * build_est
+            if join.kind == "left":
+                output = max(output, cardinality)  # left joins keep every row
+            total_cost += step_cost
+            cardinality = output
+            root.est_rows, root.est_cost = cardinality, total_cost
+            available.add(binding)
+
+        final.extend(conjunct for conjunct, _ in unplaced)
+        if final:
+            root = FilterOp(root, _and_all(final), self.columns_by_binding)
+            root.est_rows, root.est_cost = cardinality, total_cost
+        return root
+
+    # -- operator tree (naive baseline) ---------------------------------------
+
+    def _build_tree_naive(self) -> Operator:
+        """The pre-cost-model plan shape: exact-equality index lookups
+        only, declared join order, no pushdown, one final WHERE filter."""
         select = self.select
         source_binding = select.source.binding
         source_store = self._store(select.source.table)
@@ -93,12 +624,13 @@ class SelectPlan:
         eq_exprs: list[Expr] = []
         if not select.joins:
             for conjunct in _conjuncts(select.where):
-                pair = self._constant_equality(conjunct, source_binding, source_store)
+                pair = self._constant_equality(
+                    conjunct, source_binding, source_store
+                )
                 if pair is not None:
                     eq_columns.append(pair[0])
                     eq_exprs.append(pair[1])
-        # Only use the lookup path when an index matches exactly; otherwise
-        # find_by_key would scan anyway and the filter below suffices.
+        # Only use the lookup path when an index matches exactly.
         root: Operator
         use_lookup: tuple[str, ...] = ()
         for width in range(len(eq_columns), 0, -1):
@@ -107,11 +639,14 @@ class SelectPlan:
                 use_lookup = candidate
                 break
         if use_lookup:
+            index = source_store.index_on(use_lookup)
             root = ScanOp(
                 source_store,
                 source_binding,
-                eq_columns=use_lookup,
-                eq_exprs=tuple(eq_exprs[: len(use_lookup)]),
+                AccessPath(
+                    kind="eq", index=index, columns=use_lookup,
+                    eq_exprs=tuple(eq_exprs[: len(use_lookup)]),
+                ),
             )
         else:
             root = ScanOp(source_store, source_binding)
@@ -132,13 +667,8 @@ class SelectPlan:
                     residual.append(conjunct)
             if probe_exprs:
                 root = HashJoinOp(
-                    root,
-                    store,
-                    binding,
-                    tuple(probe_exprs),
-                    tuple(build_columns),
-                    _and_all(residual),
-                    join.kind,
+                    root, store, binding, tuple(probe_exprs),
+                    tuple(build_columns), _and_all(residual), join.kind,
                     self.columns_by_binding,
                 )
             else:
@@ -190,6 +720,54 @@ class SelectPlan:
             return left, right.column
         return None
 
+    # -- projection pushdown ---------------------------------------------------
+
+    def _compute_needed_columns(self) -> dict[str, tuple[str, ...]]:
+        """Per binding, the columns any clause of this query can touch.
+
+        Rows flow through the tree by reference, so narrowing them would
+        cost a copy; the value of the analysis is (a) EXPLAIN shows what
+        each scan actually feeds upward and (b) callers shipping rows
+        across a wire (the service tier's row shaping) know the minimal
+        column set.
+        """
+        select = self.select
+        needed: dict[str, set[str]] = {b: set() for b in self._binding_order}
+
+        def visit(expr: Expr | None) -> None:
+            if expr is None:
+                return
+            for ref in expr.column_refs():
+                binding = self._column_binding(ref)
+                if binding is not None:
+                    needed[binding].add(ref.column)
+
+        for item in select.items:
+            if item.is_star:
+                bindings = (
+                    [item.star_table] if item.star_table else self._binding_order
+                )
+                for binding in bindings:
+                    if binding in needed:
+                        needed[binding].update(self.columns_by_binding[binding])
+                continue
+            visit(item.expr)
+        visit(select.where)
+        for join in select.joins:
+            visit(join.condition)
+        for expr in select.group_by:
+            visit(expr)
+        visit(select.having)
+        for item in select.order_by:
+            visit(item.expr)
+        return {
+            binding: tuple(
+                column for column in self.columns_by_binding[binding]
+                if column in columns
+            )
+            for binding, columns in needed.items()
+        }
+
     # -- projection -----------------------------------------------------------
 
     def _build_projection(self) -> tuple[list[str], list[tuple[str, Expr | None, str | None]]]:
@@ -236,7 +814,9 @@ class SelectPlan:
     def explain(self) -> str:
         """A textual plan tree: the executor's post-processing steps
         (limit/sort/distinct/grouping) wrap the operator tree, which is
-        printed root-first with children indented below."""
+        printed root-first with children indented below.  Cost-based
+        plans annotate each operator with estimated rows/cost and each
+        scan with the columns the query needs from it."""
         select = self.select
         lines: list[str] = []
         post = []
@@ -254,7 +834,18 @@ class SelectPlan:
         return "\n".join(lines)
 
     def _explain_node(self, node, depth: int, lines: list[str]) -> None:
-        lines.append("  " * depth + node.describe())
+        label = node.describe()
+        annotations = []
+        if isinstance(node, ScanOp):
+            columns = self.needed_columns.get(node.binding)
+            if columns is not None and self.optimize:
+                annotations.append(f"cols={','.join(columns) or '-'}")
+        if node.est_rows is not None:
+            annotations.append(f"rows~{node.est_rows:.1f}")
+            annotations.append(f"cost~{node.est_cost:.1f}")
+        if annotations:
+            label += f"  [{' '.join(annotations)}]"
+        lines.append("  " * depth + label)
         for child in node.children():
             self._explain_node(child, depth + 1, lines)
 

@@ -130,7 +130,18 @@ class DropTable:
     if_exists: bool = False
 
 
-Statement = Select | Insert | Update | Delete | CreateTable | CreateIndex | DropTable
+@dataclass(frozen=True)
+class Analyze:
+    """``ANALYZE [table]`` — collect planner statistics; no table means
+    every table."""
+
+    table: str | None = None
+
+
+Statement = (
+    Select | Insert | Update | Delete | CreateTable | CreateIndex | DropTable
+    | Analyze
+)
 
 # ---------------------------------------------------------------------------
 # Tokenizer
@@ -143,6 +154,7 @@ _KEYWORDS = {
     "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "INDEX",
     "UNIQUE", "PRIMARY", "KEY", "FOREIGN", "REFERENCES", "DROP", "IF",
     "EXISTS", "CASCADE", "RESTRICT", "AUTOINCREMENT", "TRUE", "FALSE",
+    "ANALYZE",
 }
 
 _PUNCTUATION = ("||", "<=", ">=", "<>", "!=", "(", ")", ",", ".", "*", "+",
@@ -312,6 +324,8 @@ class _Parser:
             statement = self.parse_create()
         elif token.value == "DROP":
             statement = self.parse_drop()
+        elif token.value == "ANALYZE":
+            statement = self.parse_analyze()
         else:
             raise self.error(f"unsupported statement {token.value}")
         if self.peek().kind != "end":
@@ -576,6 +590,12 @@ class _Parser:
         table = self.expect_name()
         columns = self.parse_name_list()
         return CreateIndex(Index(name, tuple(columns), unique=unique), table)
+
+    def parse_analyze(self) -> Analyze:
+        self.expect_keyword("ANALYZE")
+        if self.peek().kind == "name":
+            return Analyze(self.expect_name())
+        return Analyze(None)
 
     def parse_drop(self) -> DropTable:
         self.expect_keyword("DROP")

@@ -1,28 +1,78 @@
-"""Row storage: heaps plus hash indexes.
+"""Row storage: heaps plus ordered hash indexes.
 
 A :class:`TableStore` owns the rows of one table.  Rows are dicts keyed
 by column name, addressed by a monotonically increasing row id.  The
 primary key and every unique constraint are enforced with hash indexes;
-secondary indexes accelerate equality lookups.
+secondary indexes accelerate equality lookups, and a lazily maintained
+sorted view of each index's keys additionally serves prefix, range and
+``IN``-list scans for the cost-based planner.
 """
 
 from __future__ import annotations
+
+import bisect
 
 from repro.errors import IntegrityError, SchemaError
 from repro.rdb.schema import Index, TableSchema
 
 
+class _NullKey:
+    """Total-order sentinel standing for NULL inside index keys.
+
+    Indexes store *every* row (a row whose indexed column is NULL must
+    still be found by a prefix scan on the other columns), so NULL needs
+    a place in the key ordering: before every real value, equal only to
+    itself.  Probes are built from real values and therefore never match
+    a sentinel-bearing key by accident.
+    """
+
+    __slots__ = ()
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __lt__(self, other):
+        return other is not self
+
+    def __le__(self, other):
+        return True
+
+    def __gt__(self, other):
+        return False
+
+    def __ge__(self, other):
+        return other is self
+
+    def __repr__(self):
+        return "NULL"
+
+
+_NULL = _NullKey()
+
+
 class _HashIndex:
-    """Equality index mapping a tuple of column values to row ids."""
+    """Equality index mapping a tuple of column values to row ids,
+    with an on-demand sorted key list for ordered access paths."""
 
     def __init__(self, columns: tuple[str, ...], unique: bool):
         self.columns = columns
         self.unique = unique
         self._entries: dict[tuple, set[int]] = {}
+        self._sorted: list[tuple] | None = None
+        self._sorted_dirty = True
 
-    def key_for(self, row: dict) -> tuple | None:
-        """The index key of ``row``; None when any indexed column is NULL
-        (SQL unique constraints ignore NULLs)."""
+    def key_for(self, row: dict) -> tuple:
+        """The index key of ``row``; NULLs become the ordering sentinel."""
+        return tuple(
+            _NULL if row[c] is None else row[c] for c in self.columns
+        )
+
+    def unique_key_for(self, row: dict) -> tuple | None:
+        """The key used for uniqueness checks; None when any indexed
+        column is NULL (SQL unique constraints ignore NULLs)."""
         key = tuple(row[c] for c in self.columns)
         if any(v is None for v in key):
             return None
@@ -31,7 +81,7 @@ class _HashIndex:
     def would_violate(self, row: dict, ignore_row_id: int | None = None) -> bool:
         if not self.unique:
             return False
-        key = self.key_for(row)
+        key = self.unique_key_for(row)
         if key is None:
             return False
         holders = self._entries.get(key, set())
@@ -39,22 +89,97 @@ class _HashIndex:
 
     def add(self, row_id: int, row: dict) -> None:
         key = self.key_for(row)
-        if key is None:
-            return
-        self._entries.setdefault(key, set()).add(row_id)
+        if key not in self._entries:
+            self._sorted_dirty = True
+            self._entries[key] = set()
+        self._entries[key].add(row_id)
 
     def remove(self, row_id: int, row: dict) -> None:
         key = self.key_for(row)
-        if key is None:
-            return
         holders = self._entries.get(key)
         if holders:
             holders.discard(row_id)
             if not holders:
                 del self._entries[key]
+                self._sorted_dirty = True
 
     def find(self, key: tuple) -> set[int]:
         return self._entries.get(key, set())
+
+    # -- ordered access -----------------------------------------------------
+
+    def sorted_keys(self) -> list[tuple] | None:
+        """All index keys in ascending order, rebuilt lazily after key-set
+        changes.  None when keys are mutually incomparable (mixed-type
+        column) — callers then fall back to a sequential scan."""
+        if self._sorted_dirty:
+            try:
+                self._sorted = sorted(self._entries)
+            except TypeError:
+                self._sorted = None
+            self._sorted_dirty = False
+        return self._sorted
+
+    def scan_prefix(self, prefix: tuple) -> set[int] | None:
+        """Row ids whose key starts with ``prefix`` (real values only).
+        Full-width prefixes degrade to a hash probe; None means the
+        ordered view is unavailable and the caller must scan."""
+        if len(prefix) == len(self.columns):
+            return set(self.find(prefix))
+        keys = self.sorted_keys()
+        if keys is None:
+            return None
+        width = len(prefix)
+        try:
+            start = bisect.bisect_left(keys, prefix, key=lambda t: t[:width])
+        except TypeError:
+            return None
+        matches: set[int] = set()
+        for position in range(start, len(keys)):
+            key = keys[position]
+            if key[:width] != prefix:
+                break
+            matches |= self._entries[key]
+        return matches
+
+    def scan_range(
+        self,
+        prefix: tuple,
+        low,
+        low_inclusive: bool,
+        high,
+        high_inclusive: bool,
+    ) -> set[int] | None:
+        """Row ids matching ``prefix`` equality on the leading columns
+        plus a (half-)open interval on the next column.  NULLs in the
+        range column never qualify (a range predicate is UNKNOWN on
+        NULL).  None means fall back to a sequential scan."""
+        keys = self.sorted_keys()
+        if keys is None:
+            return None
+        width = len(prefix)
+        try:
+            if low is not None:
+                side = bisect.bisect_left if low_inclusive else bisect.bisect_right
+                start = side(keys, prefix + (low,), key=lambda t: t[: width + 1])
+            else:
+                start = bisect.bisect_left(keys, prefix, key=lambda t: t[:width])
+            matches: set[int] = set()
+            for position in range(start, len(keys)):
+                key = keys[position]
+                if key[:width] != prefix:
+                    break
+                value = key[width]
+                if value is _NULL:
+                    continue
+                if high is not None:
+                    past = value >= high if not high_inclusive else value > high
+                    if past:
+                        break
+                matches |= self._entries[key]
+            return matches
+        except TypeError:
+            return None
 
 
 class TableStore:
@@ -70,6 +195,9 @@ class TableStore:
         self.rows: dict[int, dict] = {}
         self._next_row_id = 1
         self._auto_counter = 0
+        #: snapshot written by ANALYZE (see repro.rdb.statistics);
+        #: None until the table has been analyzed.
+        self.statistics = None
         self._indexes: dict[str, _HashIndex] = {}
         if schema.primary_key:
             self._indexes["#pk"] = _HashIndex(schema.primary_key, unique=True)
@@ -98,6 +226,10 @@ class TableStore:
             if index.columns == columns:
                 return index
         return None
+
+    def iter_indexes(self) -> list[tuple[str, _HashIndex]]:
+        """(name, index) pairs for access-path enumeration."""
+        return list(self._indexes.items())
 
     # -- row lifecycle ---------------------------------------------------------
 

@@ -29,6 +29,7 @@ class RuntimeStats(AtomicCounters):
     units_computed: int = 0
     operations_executed: int = 0
     queries_executed: int = 0
+    batched_queries: int = 0
     bean_cache_hits: int = 0
     bean_cache_misses: int = 0
 
@@ -37,6 +38,7 @@ class RuntimeStats(AtomicCounters):
         self.units_computed = 0
         self.operations_executed = 0
         self.queries_executed = 0
+        self.batched_queries = 0
         self.bean_cache_hits = 0
         self.bean_cache_misses = 0
 
@@ -76,6 +78,21 @@ class RuntimeContext:
         try:
             result = self.database.query(sql, params)
             self.stats.increment("queries_executed")
+            return result
+        finally:
+            connection.close()
+
+    def query_statement(self, select, params: dict,
+                        cache_key: str | None = None) -> ResultSet:
+        """Run a pre-built SELECT AST (the batch loader's rewritten
+        IN-list queries) through a pooled connection."""
+        connection = self.pool.acquire(timeout=self.POOL_ACQUIRE_TIMEOUT)
+        try:
+            result = self.database.query_statement(
+                select, params, cache_key=cache_key
+            )
+            self.stats.increment("queries_executed")
+            self.stats.increment("batched_queries")
             return result
         finally:
             connection.close()

@@ -146,7 +146,9 @@ class GenericUnitService:
 
 
 def _freeze(value):
-    return tuple(value) if isinstance(value, list) else value
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    return value
 
 
 class GenericOperationService:

@@ -13,12 +13,25 @@ import math
 
 from repro.descriptors import UnitDescriptor
 from repro.services.base import RuntimeContext, UnitServiceBase
+from repro.services.batching import load_grouped, query_list_param
 from repro.services.beans import UnitBean
 
 
 def _project(row: dict, properties) -> dict:
     """Shape a result row into bean properties (name ← column)."""
     return {prop.name: row.get(prop.column) for prop in properties}
+
+
+def _fetch_rows(descriptor: UnitDescriptor, inputs: dict,
+                ctx: RuntimeContext):
+    """The unit's rows: one query normally; when an input holds a list
+    (a multichoice selection fed through a transport link) and the
+    descriptor allows batching, a single IN-list query over the set."""
+    if descriptor.batched:
+        batched = query_list_param(ctx, descriptor.query, inputs)
+        if batched is not None:
+            return batched
+    return ctx.query(descriptor.query, inputs)
 
 
 class DataUnitService(UnitServiceBase):
@@ -47,7 +60,7 @@ class IndexUnitService(UnitServiceBase):
     def compute(self, descriptor: UnitDescriptor, inputs: dict,
                 ctx: RuntimeContext) -> UnitBean:
         bean = UnitBean(descriptor.unit_id, descriptor.name, self.kind)
-        result = ctx.query(descriptor.query, inputs)
+        result = _fetch_rows(descriptor, inputs, ctx)
         bean.rows = [_project(row, descriptor.properties) for row in result]
         selected = inputs.get("selected")
         current = None
@@ -68,7 +81,7 @@ class MultidataUnitService(UnitServiceBase):
     def compute(self, descriptor: UnitDescriptor, inputs: dict,
                 ctx: RuntimeContext) -> UnitBean:
         bean = UnitBean(descriptor.unit_id, descriptor.name, self.kind)
-        result = ctx.query(descriptor.query, inputs)
+        result = _fetch_rows(descriptor, inputs, ctx)
         bean.rows = [_project(row, descriptor.properties) for row in result]
         return bean
 
@@ -133,7 +146,12 @@ class EntryUnitService(UnitServiceBase):
 
 class HierarchicalIndexService(UnitServiceBase):
     """Figure 1's nested index: computes the root level, then expands
-    each row level by level via the per-level queries (``:parent``)."""
+    the hierarchy level by level via the per-level queries (``:parent``).
+
+    With ``descriptor.batched`` (the default) each level is one IN-list
+    query over every parent at that depth — O(levels) queries instead of
+    O(rows).  When the level query resists the rewrite the per-parent
+    loop is kept, so the bean is identical either way."""
 
     kind = "hierarchical"
 
@@ -149,15 +167,28 @@ class HierarchicalIndexService(UnitServiceBase):
 
     def _expand(self, rows: list[dict], level_index: int,
                 descriptor: UnitDescriptor, ctx: RuntimeContext) -> None:
-        if level_index >= len(descriptor.levels):
+        if level_index >= len(descriptor.levels) or not rows:
             return
         level = descriptor.levels[level_index]
-        for row in rows:
-            children = ctx.query(level.query, {"parent": row["oid"]})
-            row["_children"] = [
-                _project(child, level.properties) for child in children
-            ]
-            self._expand(row["_children"], level_index + 1, descriptor, ctx)
+        grouped = None
+        if descriptor.batched:
+            grouped = load_grouped(
+                ctx, level.query, "parent", [row["oid"] for row in rows]
+            )
+        if grouped is None:  # rewrite refused: per-parent fallback
+            for row in rows:
+                children = ctx.query(level.query, {"parent": row["oid"]})
+                row["_children"] = [
+                    _project(child, level.properties) for child in children
+                ]
+        else:
+            for row in rows:
+                row["_children"] = [
+                    _project(child, level.properties)
+                    for child in grouped.get(row["oid"], [])
+                ]
+        next_rows = [child for row in rows for child in row["_children"]]
+        self._expand(next_rows, level_index + 1, descriptor, ctx)
 
 
 #: kind → service instance; the registry the generic dispatcher consults.

@@ -298,7 +298,18 @@ class TestQueries:
         sql = "SELECT COUNT(*) AS n FROM paper"
         library.query(sql)
         assert sql in library._plan_cache
+        # DDL on unrelated tables leaves the plan warm (scoped
+        # invalidation) ...
         library.execute("CREATE TABLE extra (oid INTEGER)")
+        assert sql in library._plan_cache
+        library.execute("CREATE INDEX ix_extra_oid ON extra (oid)")
+        assert sql in library._plan_cache
+        # ... while DDL/ANALYZE touching the plan's own table evicts it.
+        library.execute("CREATE INDEX ix_paper_pages ON paper (pages)")
+        assert sql not in library._plan_cache
+        library.query(sql)
+        assert sql in library._plan_cache
+        library.execute("ANALYZE paper")
         assert sql not in library._plan_cache
 
     def test_prepare_rejects_non_select(self, library):

@@ -159,22 +159,23 @@ class TestPlannerBehaviour:
     def test_index_lookup_chosen_for_pk(self, shop):
         select = parse_select("SELECT name FROM item WHERE oid = 3")
         plan = SelectPlan(select, shop.tables)
-        from repro.rdb.executor import FilterOp, ScanOp
+        from repro.rdb.executor import ScanOp
 
-        assert isinstance(plan.root, FilterOp)
-        assert isinstance(plan.root.child, ScanOp)
-        assert plan.root.child.eq_columns == ("oid",)
+        assert isinstance(plan.root, ScanOp)
+        assert plan.root.eq_columns == ("oid",)
+        assert plan.root.predicate is not None
 
     def test_full_scan_without_index(self, shop):
         select = parse_select("SELECT name FROM item WHERE bucket = 1")
         plan = SelectPlan(select, shop.tables)
-        assert plan.root.child.eq_columns == ()
+        assert plan.root.eq_columns == ()
+        assert plan.root.access.kind == "seq"
 
     def test_secondary_index_used_after_creation(self, shop):
         shop.execute("CREATE INDEX ix_bucket ON item (bucket)")
         select = parse_select("SELECT name FROM item WHERE bucket = 1")
         plan = SelectPlan(select, shop.tables)
-        assert plan.root.child.eq_columns == ("bucket",)
+        assert plan.root.eq_columns == ("bucket",)
 
     def test_hash_join_selected_for_equi_condition(self, shop):
         select = parse_select(
@@ -484,15 +485,17 @@ class TestExplain:
     def test_explain_shows_index_lookup(self, shop):
         text = shop.explain("SELECT name FROM item WHERE oid = 1")
         assert "IndexLookup(item AS item ON oid)" in text
-        assert "Filter" in text
+        assert "rows~" in text and "cost~" in text
 
     def test_explain_shows_join_strategy(self, shop):
         text = shop.explain(
             "SELECT a.name FROM item a JOIN item b ON a.oid = b.oid"
             " WHERE b.name = 'alpha'"
         )
-        assert "HashJoin(inner item AS b ON oid)" in text
-        assert "SeqScan(item AS a)" in text
+        # The cost-based planner starts from the filtered binding (b) and
+        # hash-joins the unfiltered one (a) on the equi-condition.
+        assert "HashJoin(inner item AS a ON oid)" in text
+        assert "SeqScan(item AS b)" in text
 
     def test_explain_post_processing_steps(self, shop):
         text = shop.explain(
