@@ -24,6 +24,7 @@ class WebApplication:
         model: WebMLModel,
         bean_cache=None,
         view_renderer=None,
+        page_cache=None,
         database: Database | None = None,
         pool_size: int = 8,
     ):
@@ -37,10 +38,29 @@ class WebApplication:
             self.database, self.registry, bean_cache=bean_cache,
             pool_size=pool_size,
         )
+        # Deeper cache levels registered first (bean was registered by
+        # the context): a page rebuild must find clean lower levels.
+        fragment_cache = getattr(view_renderer, "fragment_cache", None)
+        if fragment_cache is not None:
+            self.ctx.register_cache_level("fragment", fragment_cache)
+        self.page_cache = page_cache
+        if page_cache is not None:
+            self.ctx.register_cache_level("page", page_cache)
         self.controller = Controller.from_config(self.project.controller_config)
         self.front = FrontController(
-            self.controller, self.ctx, view_renderer=view_renderer
+            self.controller, self.ctx, view_renderer=view_renderer,
+            page_cache=page_cache,
+            device_classifier=self._device_classifier(view_renderer),
         )
+
+    @staticmethod
+    def _device_classifier(view_renderer):
+        """Page-cache keys must separate the device classes the
+        presentation tier can actually distinguish."""
+        registry = getattr(view_renderer, "device_registry", None)
+        if registry is None:
+            return None
+        return lambda user_agent: registry.profile_for(user_agent).name
 
     def _install_schema(self) -> None:
         from repro.util import stable_topological_sort

@@ -24,14 +24,25 @@ _ATTR = re.compile(r'(\w+)="([^"]*)"')
 
 
 class Browser:
-    """One simulated user agent bound to one application."""
+    """One simulated user agent bound to one application.
 
-    def __init__(self, app, user_agent: str = "Mozilla/5.0 (reproduction)"):
+    ``conditional=True`` turns on a real browser's HTTP cache
+    behaviour: responses carrying an ``ETag`` are remembered per URL,
+    revisits send ``If-None-Match`` (and ``Accept-Encoding: gzip``),
+    and a 304 answer is materialized from the local cache — the
+    response keeps status 304 (so callers can count revalidations) but
+    ``body`` shows the cached content, the way the user would see it.
+    """
+
+    def __init__(self, app, user_agent: str = "Mozilla/5.0 (reproduction)",
+                 conditional: bool = False):
         self.app = app
         self.user_agent = user_agent
+        self.conditional = conditional
         self.session_id: str | None = None
         self.last_response: HttpResponse | None = None
         self.history: list[str] = []
+        self._http_cache: dict[str, tuple[str, str]] = {}  # url → (etag, body)
 
     def get(self, url: str, follow_redirects: bool = True) -> HttpResponse:
         response = self._request(url)
@@ -47,14 +58,27 @@ class Browser:
     def _request(self, url: str) -> HttpResponse:
         from repro.mvc.http import HttpRequest
 
+        headers = {"User-Agent": self.user_agent}
+        if self.conditional:
+            headers["Accept-Encoding"] = "gzip"
+            cached = self._http_cache.get(url)
+            if cached is not None:
+                headers["If-None-Match"] = cached[0]
         request = HttpRequest.from_url(
             url,
-            headers={"User-Agent": self.user_agent},
+            headers=headers,
             session_id=self.session_id,
         )
         response = self.app.handle(request)
         self.session_id = request.session_id
         self.history.append(url)
+        if self.conditional:
+            if response.status == 304:
+                cached = self._http_cache.get(url)
+                if cached is not None:
+                    response.body = cached[1]
+            elif response.status == 200 and response.etag:
+                self._http_cache[url] = (response.etag, response.body)
         return response
 
     # -- page interaction helpers -------------------------------------------------

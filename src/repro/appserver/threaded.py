@@ -48,6 +48,9 @@ class ThreadedAppServer:
         self.failures = 0  # requests whose handler raised (bugs, not 4xx/5xx)
         self.served_per_worker: list[int] = []
         self.total_queue_wait_seconds = 0.0
+        # delivery-tier observability: what actually crossed the wire
+        self.status_counts: dict[int, int] = {}
+        self.bytes_on_wire = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -122,6 +125,10 @@ class ThreadedAppServer:
                     self.requests_served += 1
                     self.served_per_worker[index] += 1
                     self.total_queue_wait_seconds += waited
+                    self.status_counts[response.status] = (
+                        self.status_counts.get(response.status, 0) + 1
+                    )
+                    self.bytes_on_wire += response.wire_length
                 future.set_result(response)
 
     # -- observation ----------------------------------------------------------
@@ -134,4 +141,6 @@ class ThreadedAppServer:
                 "failures": self.failures,
                 "served_per_worker": list(self.served_per_worker),
                 "total_queue_wait_seconds": self.total_queue_wait_seconds,
+                "status_counts": dict(self.status_counts),
+                "bytes_on_wire": self.bytes_on_wire,
             }

@@ -13,21 +13,45 @@ Because the conceptual model exposes what each unit depends on,
 "the implementation of operations automatically invalidates the
 affected cached objects".
 
+Level 0 — the **page cache**: whole rendered responses, keyed by
+(page, canonical parameters, device, principal), carrying the union of
+the page's unit dependency sets so the same model-driven invalidation
+applies to full pages.
+
+All levels implement one ``invalidate_writes(entities, roles)``
+protocol and are invalidated together through the
+:class:`~repro.caching.bus.InvalidationBus` an operation publishes to.
+
 - :mod:`repro.caching.policy` — TTL / model-driven policies,
-- :mod:`repro.caching.fragment_cache` — level 1,
+- :mod:`repro.caching.page_cache` — level 0 with ETag/gzip by-products,
+- :mod:`repro.caching.fragment_cache` — level 1 with the scoped
+  dependency index,
 - :mod:`repro.caching.bean_cache` — level 2 with the model-driven
   dependency index,
+- :mod:`repro.caching.bus` — the write-notification fan-out,
 - :mod:`repro.caching.stats` — hit/miss/invalidation counters.
 """
 
 from repro.caching.bean_cache import UnitBeanCache
+from repro.caching.bus import InvalidationBus
 from repro.caching.fragment_cache import FragmentCache
+from repro.caching.page_cache import (
+    PageCache,
+    PageEntry,
+    canonical_params,
+    content_etag,
+)
 from repro.caching.policy import CachePolicy, parse_policy
 from repro.caching.stats import CacheStats
 
 __all__ = [
     "UnitBeanCache",
     "FragmentCache",
+    "PageCache",
+    "PageEntry",
+    "InvalidationBus",
+    "canonical_params",
+    "content_etag",
     "CachePolicy",
     "parse_policy",
     "CacheStats",

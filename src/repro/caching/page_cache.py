@@ -1,0 +1,241 @@
+"""Level-0 cache: whole rendered pages.
+
+The fragment cache (level 1) spares markup generation and the bean
+cache (level 2) spares the data-extraction queries — but a hit still
+pays page-service orchestration, slot resolution, and template
+assembly.  The page cache closes the loop: the *entire* rendered
+response is stored, keyed by everything that may legally change the
+bytes — the page, the canonicalized request parameters, the device
+class, and the authenticated principal.
+
+Like the bean cache, it is model-driven (§6): every entry carries the
+union of the entity/role dependency sets of the page's unit
+descriptors, and ``invalidate_writes`` drops exactly the dependent
+pages.  ``scoped=False`` degrades invalidation to a global flush — the
+baseline E15 compares against.
+
+Entries carry the content digest (the HTTP ``ETag``) and a
+deterministic gzip body, so conditional and compressed delivery costs
+nothing on a hit.  LRU bounded, optional TTL, single-flight builds
+with the same invalidation-generation guard as the other levels.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.caching.stats import CacheStats
+from repro.errors import CacheError
+from repro.util import SystemClock
+
+
+def canonical_params(params: dict) -> tuple:
+    """A hashable, order-insensitive rendition of request parameters.
+
+    List values (checkbox groups) become tuples; everything else is
+    kept verbatim — two requests differing only in parameter order map
+    to the same page-cache key.
+    """
+    return tuple(sorted(
+        (name, tuple(value) if isinstance(value, (list, tuple)) else value)
+        for name, value in params.items()
+    ))
+
+
+def content_etag(body: str) -> str:
+    """The strong validator of a rendered body (RFC 7232 quoted form)."""
+    return f'"{hashlib.sha1(body.encode()).hexdigest()}"'
+
+
+@dataclass
+class PageEntry:
+    """One cached response: the body plus its delivery by-products."""
+
+    body: str
+    etag: str
+    gzip_body: bytes
+    entities: frozenset
+    roles: frozenset
+    expires_at: float | None = None
+
+
+class PageCache:
+    """The level-0 store consulted by the front controller."""
+
+    def __init__(self, max_entries: int = 512,
+                 ttl_seconds: float | None = None,
+                 scoped: bool = True, clock=None):
+        if max_entries <= 0:
+            raise CacheError("page cache needs a positive capacity")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self.scoped = scoped
+        self.clock = clock or SystemClock()
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[object, PageEntry] = OrderedDict()
+        self._by_entity: dict[str, set] = {}
+        self._by_role: dict[str, set] = {}
+        self._flight_lock = threading.Lock()
+        self._in_flight: dict[object, threading.Event] = {}
+        self._generation = 0
+
+    # -- entry construction ---------------------------------------------------
+
+    def make_entry(self, body: str, entities=(), roles=()) -> PageEntry:
+        """Digest and compress a rendered body once, at store time.
+
+        ``mtime=0`` keeps the gzip bytes deterministic, so repeated
+        builds of identical content produce identical wire bytes.
+        """
+        return PageEntry(
+            body=body,
+            etag=content_etag(body),
+            gzip_body=gzip.compress(body.encode(), mtime=0),
+            entities=frozenset(entities),
+            roles=frozenset(roles),
+        )
+
+    # -- the cache protocol ---------------------------------------------------
+
+    def get(self, key) -> PageEntry | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.increment("misses")
+                return None
+            if (entry.expires_at is not None
+                    and self.clock.now() >= entry.expires_at):
+                self._remove(key)
+                self.stats.increment("expirations")
+                self.stats.increment("misses")
+                return None
+            self._entries.move_to_end(key)
+            self.stats.increment("hits")
+            return entry
+
+    def put(self, key, entry: PageEntry) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._remove(key)
+            if self.ttl_seconds is not None:
+                entry.expires_at = self.clock.now() + self.ttl_seconds
+            self._entries[key] = entry
+            for entity in entry.entities:
+                self._by_entity.setdefault(entity, set()).add(key)
+            for role in entry.roles:
+                self._by_role.setdefault(role, set()).add(key)
+            self.stats.increment("puts")
+            while len(self._entries) > self.max_entries:
+                oldest = next(iter(self._entries))
+                self._remove(oldest)
+                self.stats.increment("evictions")
+
+    def get_or_build(self, key, build) -> PageEntry:
+        """Return the cached entry, or build it exactly once.
+
+        ``build()`` runs the full request path (page service + view),
+        so concurrent misses of a popular page must not stampede it:
+        one leader builds, the rest wait and re-read.  An entry built
+        from pre-invalidation data is never stored after an operation
+        invalidated its dependencies (generation guard).
+        """
+        first_attempt = True
+        while True:
+            entry = self.get(key)
+            if entry is not None:
+                if not first_attempt:
+                    self.stats.increment("coalesced")
+                return entry
+            with self._flight_lock:
+                leader_event = self._in_flight.get(key)
+                if leader_event is None:
+                    my_event = threading.Event()
+                    self._in_flight[key] = my_event
+            if leader_event is not None:
+                leader_event.wait()
+                first_attempt = False
+                continue
+            try:
+                with self._lock:
+                    generation = self._generation
+                entry = build()
+                if entry is not None:
+                    with self._lock:
+                        if self._generation == generation:
+                            self.put(key, entry)
+                return entry
+            finally:
+                with self._flight_lock:
+                    del self._in_flight[key]
+                my_event.set()
+
+    # -- model-driven invalidation --------------------------------------------
+
+    def invalidate_writes(self, entities=(), roles=()) -> int:
+        """Drop every page depending on any written entity/role.
+
+        In ``scoped=False`` mode any write clears the whole cache —
+        the behaviour of a cache without a conceptual model to consult.
+        """
+        if not self.scoped:
+            if entities or roles:
+                return self.flush()
+            return 0
+        with self._lock:
+            self._generation += 1
+            keys: set = set()
+            for entity in entities:
+                keys |= self._by_entity.get(entity, set())
+            for role in roles:
+                keys |= self._by_role.get(role, set())
+            for key in keys:
+                self._remove(key)
+            self.stats.increment("invalidations", len(keys))
+            return len(keys)
+
+    def flush(self) -> int:
+        with self._lock:
+            self._generation += 1
+            count = len(self._entries)
+            self._entries.clear()
+            self._by_entity.clear()
+            self._by_role.clear()
+            self.stats.increment("invalidations", count)
+            return count
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _remove(self, key) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        for entity in entry.entities:
+            holders = self._by_entity.get(entity)
+            if holders:
+                holders.discard(key)
+                if not holders:
+                    del self._by_entity[entity]
+        for role in entry.roles:
+            holders = self._by_role.get(role)
+            if holders:
+                holders.discard(key)
+                if not holders:
+                    del self._by_role[role]
+
+    def dependents_of(self, entity: str | None = None,
+                      role: str | None = None) -> int:
+        with self._lock:
+            if entity is not None:
+                return len(self._by_entity.get(entity, set()))
+            if role is not None:
+                return len(self._by_role.get(role, set()))
+            return 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

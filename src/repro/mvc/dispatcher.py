@@ -5,12 +5,25 @@ through the Controller's action mappings, runs the action, and either
 renders the resulting Model state through the pluggable view renderer or
 emits a redirect.  Site views flagged ``requires_login`` are enforced
 here, before any action runs.
+
+The controller is also the delivery tier's integration point (§6):
+
+- **level-0 page cache** — GET page requests are answered from whole
+  cached responses keyed by (page, canonical parameters, device,
+  principal); misses single-flight the full action+view path;
+- **conditional HTTP** — every 200 HTML response carries a content
+  digest ``ETag``; an ``If-None-Match`` revalidation that still
+  matches costs a 304 and zero body bytes;
+- **compression** — ``Accept-Encoding: gzip`` negotiates a gzip body,
+  precomputed for page-cache entries.
 """
 
 from __future__ import annotations
 
+import gzip
 from collections.abc import Callable
 
+from repro.caching.page_cache import canonical_params, content_etag
 from repro.errors import ControllerError, ReproError
 from repro.mvc.actions import ActionOutcome, OperationAction, PageAction
 from repro.mvc.controller import Controller
@@ -40,16 +53,23 @@ def plain_view_renderer(page_result: PageResult, request: HttpRequest,
 class FrontController:
     """The servlet: one instance serves every request of an application."""
 
+    #: bodies below this size are not worth a gzip round-trip
+    GZIP_MIN_BYTES = 200
+
     def __init__(
         self,
         controller: Controller,
         ctx: RuntimeContext,
         view_renderer: ViewRenderer | None = None,
+        page_cache=None,
+        device_classifier: Callable[[str], str] | None = None,
     ):
         self.controller = controller
         self.ctx = ctx
         self.sessions = SessionStore()
         self.view_renderer = view_renderer or plain_view_renderer
+        self.page_cache = page_cache
+        self.device_classifier = device_classifier or (lambda user_agent: "html")
         self.page_action = PageAction(ctx)
         self.operation_action = OperationAction(ctx)
         self.requests_served = 0
@@ -59,13 +79,14 @@ class FrontController:
         (a servlet container never lets an exception escape to the
         socket)."""
         try:
-            return self._handle(request)
+            response = self._handle(request)
         except ReproError as exc:
             return HttpResponse(
                 status=500,
                 body=f"Internal error: {exc}",
                 content_type="text/plain",
             )
+        return self._finalize(request, response)
 
     def _handle(self, request: HttpRequest) -> HttpResponse:
         self.requests_served += 1
@@ -92,6 +113,8 @@ class FrontController:
                 )
 
         if mapping.action_type == "PageAction":
+            if self.page_cache is not None and request.method == "GET":
+                return self._respond_from_page_cache(mapping, request, session)
             outcome = self.page_action.perform(mapping, request, session)
         elif mapping.action_type == "OperationAction":
             outcome = self.operation_action.perform(mapping, request, session)
@@ -119,6 +142,118 @@ class FrontController:
         return HttpResponse.redirect(
             self.controller.page_path(site_view_id, home.page_id)
         )
+
+    # -- level-0 page cache ---------------------------------------------------
+
+    def _respond_from_page_cache(self, mapping, request: HttpRequest,
+                                 session) -> HttpResponse:
+        """Serve a GET page from the whole-response cache.
+
+        The key captures everything that may legally change the bytes:
+        the page, the canonicalized parameters, the device class the
+        presentation tier would select, and the authenticated
+        principal.  A miss single-flights the full action + view path
+        and stores the response with the union of the page's unit
+        dependency sets, so operation writes invalidate exactly the
+        dependent pages.
+        """
+        key = (
+            mapping.page_id,
+            canonical_params(request.params),
+            self.device_classifier(request.user_agent),
+            f"user:{session.user_oid}" if session.is_authenticated else "anon",
+        )
+
+        def build():
+            outcome = self.page_action.perform(mapping, request, session)
+            body = self.view_renderer(
+                outcome.page_result, request, self.controller
+            )
+            entities, roles = self._page_dependencies(mapping.page_id)
+            return self.page_cache.make_entry(body, entities, roles)
+
+        entry = self.page_cache.get_or_build(key, build)
+        cache_control = self._cache_control(session)
+        if self._etag_matches(request.headers.get("If-None-Match"), entry.etag):
+            return HttpResponse.not_modified(
+                entry.etag, {"Cache-Control": cache_control}
+            )
+        response = HttpResponse(
+            status=200, body=entry.body,
+            headers={"ETag": entry.etag, "Cache-Control": cache_control},
+        )
+        if (self._accepts_gzip(request)
+                and len(entry.body) >= self.GZIP_MIN_BYTES):
+            response.encoded_body = entry.gzip_body
+            response.headers["Content-Encoding"] = "gzip"
+            response.headers["Vary"] = "Accept-Encoding"
+        return response
+
+    def _page_dependencies(self, page_id: str) -> tuple[set, set]:
+        """The union of the §6 dependency sets of the page's units."""
+        descriptor = self.ctx.registry.page(page_id)
+        entities: set = set()
+        roles: set = set()
+        for unit_id in descriptor.unit_order:
+            unit = self.ctx.registry.unit(unit_id)
+            entities.update(unit.depends_on_entities)
+            roles.update(unit.depends_on_roles)
+        return entities, roles
+
+    def _cache_control(self, session) -> str:
+        """Derived from the cache policy: a TTL becomes ``max-age``,
+        model-driven entries must revalidate (the ETag makes that a
+        304)."""
+        scope = "private" if session.is_authenticated else "public"
+        ttl = self.page_cache.ttl_seconds if self.page_cache is not None else None
+        if ttl:
+            return f"{scope}, max-age={int(ttl)}"
+        return f"{scope}, no-cache"
+
+    # -- conditional HTTP -----------------------------------------------------
+
+    def _finalize(self, request: HttpRequest,
+                  response: HttpResponse) -> HttpResponse:
+        """Conditional and compressed delivery for every 200 HTML GET.
+
+        Page-cache responses arrive with their validator and encoding
+        already attached (precomputed at store time); everything else
+        is digested and negotiated here.
+        """
+        if (request.method != "GET" or response.status != 200
+                or response.content_type != "text/html"):
+            return response
+        etag = response.headers.get("ETag")
+        if etag is None:
+            etag = content_etag(response.body)
+            response.headers["ETag"] = etag
+        response.headers.setdefault("Cache-Control", "no-cache")
+        if self._etag_matches(request.headers.get("If-None-Match"), etag):
+            return HttpResponse.not_modified(
+                etag, {"Cache-Control": response.headers["Cache-Control"]}
+            )
+        if ("Content-Encoding" not in response.headers
+                and self._accepts_gzip(request)
+                and len(response.body) >= self.GZIP_MIN_BYTES):
+            response.encoded_body = gzip.compress(
+                response.body.encode(), mtime=0
+            )
+            response.headers["Content-Encoding"] = "gzip"
+            response.headers["Vary"] = "Accept-Encoding"
+        return response
+
+    @staticmethod
+    def _etag_matches(if_none_match: str | None, etag: str) -> bool:
+        if not if_none_match:
+            return False
+        if if_none_match.strip() == "*":
+            return True
+        candidates = [c.strip() for c in if_none_match.split(",")]
+        return etag in candidates
+
+    @staticmethod
+    def _accepts_gzip(request: HttpRequest) -> bool:
+        return "gzip" in request.headers.get("Accept-Encoding", "")
 
     def _respond(self, outcome: ActionOutcome, request: HttpRequest,
                  session) -> HttpResponse:

@@ -58,16 +58,29 @@ class HttpRequest:
 
 @dataclass
 class HttpResponse:
-    """One server response."""
+    """One server response.
+
+    ``encoded_body`` is the wire form when a ``Content-Encoding`` was
+    negotiated (gzip); ``body`` always keeps the identity text, the way
+    an in-process test client wants to read it.
+    """
 
     status: int = 200
     body: str = ""
     content_type: str = "text/html"
     headers: dict = field(default_factory=dict)
+    encoded_body: bytes | None = None
 
     @classmethod
     def redirect(cls, location: str) -> "HttpResponse":
         return cls(status=302, headers={"Location": location})
+
+    @classmethod
+    def not_modified(cls, etag: str, headers: dict | None = None) -> "HttpResponse":
+        """A 304 revalidation answer: no body, just the validator."""
+        merged = dict(headers or {})
+        merged["ETag"] = etag
+        return cls(status=304, headers=merged)
 
     @classmethod
     def not_found(cls, what: str = "") -> "HttpResponse":
@@ -79,19 +92,38 @@ class HttpResponse:
 
     @property
     def is_redirect(self) -> bool:
-        return self.status in (301, 302, 303, 307)
+        return self.status in (301, 302, 303, 307, 308)
 
     @property
     def location(self) -> str | None:
         return self.headers.get("Location")
 
+    @property
+    def etag(self) -> str | None:
+        return self.headers.get("ETag")
+
+    @property
+    def wire_length(self) -> int:
+        """Bytes this response puts on the wire (304s carry none)."""
+        if self.status == 304:
+            return 0
+        if self.encoded_body is not None:
+            return len(self.encoded_body)
+        return len(self.body.encode())
+
 
 def build_url(path: str, params: dict | None = None) -> str:
-    """Assemble a URL with properly encoded query parameters."""
+    """Assemble a URL with properly encoded query parameters.
+
+    List/tuple values (checkbox groups) expand doseq-style into one
+    ``name=value`` pair per element, so a multi-select round-trips
+    through :meth:`HttpRequest.from_url` unchanged.
+    """
     if not params:
         return path
     encoded = urlencode(
-        [(k, v) for k, v in params.items() if v is not None], quote_via=quote
+        [(k, v) for k, v in params.items() if v is not None],
+        quote_via=quote, doseq=True,
     )
     return f"{path}?{encoded}" if encoded else path
 

@@ -6,21 +6,43 @@ against the unit beans of a :class:`~repro.services.PageResult` at
 render time.  Static markup is emitted verbatim, so everything the
 presentation rules added survives untouched (§5's separation).
 
+Rendering runs through a **compiled program**: at compile time the
+template tree is flattened into alternating pre-serialized static HTML
+segments and dynamic slots (one per custom tag), so a request performs
+string joins instead of cloning and re-serializing the whole tree.
+The tree-walking renderer survives as :meth:`PageTemplate.render_tree`
+— the oracle the compiled path must match byte for byte.
+
 Fragment caching (§6): when a custom tag carries ``fragment="cache"``
 (set by a presentation rule or by hand) and the render context has a
 fragment cache, the rendered HTML of that unit is cached and reused for
 identical bean content — the ESI-style *template-level* cache whose
-limits §6 analyses.
+limits §6 analyses.  A fragment hit splices the cached HTML string
+straight into the output; no XML parse or re-serialization happens on
+the hit path.  Fragments are stored with the bean's entity/role
+dependency sets, so operation writes invalidate exactly the dependent
+fragments.
 """
 
 from __future__ import annotations
+
+import hashlib
+import json
 
 from repro.descriptors import PageDescriptor
 from repro.errors import TemplateRenderError
 from repro.mvc.http import build_url
 from repro.presentation.tags import renderer_for_tag
 from repro.services.page_service import PageResult
-from repro.xmlkit import Element, Node, Text, parse_xml, serialize
+from repro.xmlkit import (
+    Element,
+    Node,
+    Text,
+    escape_text,
+    open_tag,
+    parse_xml,
+    serialize,
+)
 
 
 class RenderContext:
@@ -52,12 +74,115 @@ class RenderContext:
         return build_url(path, params)
 
 
+def _bean_digest(unit_id: str, bean) -> tuple:
+    """Fragment identity: the unit and a digest of its bean content.
+
+    The digest makes the cache correct by construction — but note
+    (§6's point) the *bean* still had to be computed to produce it:
+    fragment caching spares markup generation, not the queries.
+    """
+    payload = json.dumps(
+        {
+            "current": bean.current,
+            "rows": bean.rows,
+            "fields": bean.fields,
+            "block": bean.block,
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return (unit_id, hashlib.sha1(payload.encode()).hexdigest())
+
+
+class _UnitSlot:
+    """One dynamic position of the compiled program: a custom tag whose
+    HTML depends on the request's unit bean."""
+
+    __slots__ = ("tag", "unit_id", "cache_enabled", "page_id")
+
+    def __init__(self, tag: Element, page_id: str):
+        self.tag = tag
+        self.page_id = page_id
+        self.unit_id = tag.get("unit")
+        self.cache_enabled = tag.get("fragment") == "cache"
+        if self.unit_id is None:
+            raise TemplateRenderError(
+                f"custom tag <{tag.tag}> lacks the unit attribute"
+            )
+
+    def render(self, context: RenderContext) -> str:
+        bean = context.page_result.beans.get(self.unit_id)
+        if bean is None:
+            raise TemplateRenderError(
+                f"no unit bean computed for {self.unit_id!r} "
+                f"(page {self.page_id!r})"
+            )
+        renderer = renderer_for_tag(self.tag.tag)
+        cache = context.fragment_cache if self.cache_enabled else None
+        if cache is None:
+            return serialize(renderer.render(bean, self.tag, context))
+        key = _bean_digest(self.unit_id, bean)
+        if hasattr(cache, "get_or_render"):
+            # Single-flight: concurrent misses render the fragment once;
+            # a hit splices the cached string — no parse, no serialize.
+            return cache.get_or_render(
+                key,
+                lambda: serialize(renderer.render(bean, self.tag, context)),
+                entities=bean.depends_entities,
+                roles=bean.depends_roles,
+            )
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        html = serialize(renderer.render(bean, self.tag, context))
+        cache.put(key, html, entities=bean.depends_entities,
+                  roles=bean.depends_roles)
+        return html
+
+
+class _MenuSlot:
+    """The site-menu tag: dynamic against the controller's live path
+    mapping (re-linking swaps the mapping dict, which drops the memo),
+    constant otherwise — so its HTML is rendered once per mapping."""
+
+    __slots__ = ("tag", "_memo")
+
+    def __init__(self, tag: Element):
+        self.tag = tag
+        self._memo: tuple[int, str] | None = None
+
+    def render(self, context: RenderContext) -> str:
+        mappings_id = id(context.controller.mappings)
+        memo = self._memo
+        if memo is not None and memo[0] == mappings_id:
+            return memo[1]
+        html = serialize(_render_site_menu(self.tag, context))
+        self._memo = (mappings_id, html)
+        return html
+
+
+def _render_site_menu(tag: Element, context: RenderContext) -> Element:
+    """The landmark-page navigation menu (resolved against the
+    controller's live path mapping, so re-linking never breaks it)."""
+    menu = Element("ul", {"class": "site-menu"})
+    current = tag.get("current")
+    for item in tag.find_all("menuItem"):
+        page_id = item.require_attr("page")
+        entry = menu.add("li")
+        attrs = {"href": context.controller.path_of_page(page_id)}
+        if page_id == current:
+            attrs["class"] = "current"
+        entry.add("a", attrs, text=item.get("label", page_id))
+    return menu
+
+
 class PageTemplate:
     """A compiled page template, render-ready."""
 
     def __init__(self, page_id: str, document: Element):
         self.page_id = page_id
         self.document = document
+        self._program: list | None = None
 
     @classmethod
     def from_xml(cls, page_id: str, xml: str) -> "PageTemplate":
@@ -66,8 +191,69 @@ class PageTemplate:
     def source(self) -> str:
         return serialize(self.document)
 
+    # -- the compiled fast path ----------------------------------------------
+
     def render(self, context: RenderContext) -> str:
-        """Produce the final HTML for one request."""
+        """Produce the final HTML for one request: join the program's
+        static segments with the dynamic slots' output."""
+        program = self._program
+        if program is None:
+            program = self.compile()
+        return "".join(
+            part if isinstance(part, str) else part.render(context)
+            for part in program
+        )
+
+    def compile(self) -> list:
+        """Flatten the template tree into the segment/slot program.
+
+        Everything outside custom tags serializes once, here; per
+        request only the slots run.  Compilation is idempotent and the
+        program is memoized on the template.
+        """
+        parts: list = []
+        static: list[str] = []
+
+        def flush() -> None:
+            if static:
+                parts.append("".join(static))
+                static.clear()
+
+        def walk(node: Node) -> None:
+            if isinstance(node, Text):
+                static.append(escape_text(node.value))
+                return
+            assert isinstance(node, Element)
+            if node.tag.startswith("webml:"):
+                flush()
+                if node.tag == "webml:siteMenu":
+                    parts.append(_MenuSlot(node))
+                else:
+                    parts.append(_UnitSlot(node, self.page_id))
+                return
+            if not _contains_custom_tag(node):
+                static.append(serialize(node))
+                return
+            static.append(open_tag(node))
+            for child in node.children:
+                walk(child)
+            static.append(f"</{node.tag}>")
+
+        walk(self.document)
+        flush()
+        self._program = parts
+        return parts
+
+    def slots(self) -> list:
+        """The dynamic slots of the compiled program (introspection)."""
+        program = self._program if self._program is not None else self.compile()
+        return [part for part in program if not isinstance(part, str)]
+
+    # -- the tree-walking oracle ---------------------------------------------
+
+    def render_tree(self, context: RenderContext) -> str:
+        """The original node-by-node renderer.  Kept as the semantic
+        oracle: ``render`` must produce byte-identical output."""
         rendered = self._render_node(self.document, context)
         assert rendered is not None
         return serialize(rendered)
@@ -88,7 +274,7 @@ class PageTemplate:
     def _render_unit_tag(self, tag: Element,
                          context: RenderContext) -> Node | None:
         if tag.tag == "webml:siteMenu":
-            return self._render_site_menu(tag, context)
+            return _render_site_menu(tag, context)
         unit_id = tag.get("unit")
         if unit_id is None:
             raise TemplateRenderError(
@@ -102,61 +288,33 @@ class PageTemplate:
             )
         cache = context.fragment_cache if tag.get("fragment") == "cache" else None
         renderer = renderer_for_tag(tag.tag)
-        if cache is not None:
-            key = self._fragment_key(unit_id, bean)
-            if hasattr(cache, "get_or_render"):
-                # Single-flight: concurrent misses render the fragment once.
-                html = cache.get_or_render(
-                    key,
-                    lambda: serialize(renderer.render(bean, tag, context)),
-                )
-                return parse_xml(html)
-            cached = cache.get(key)
-            if cached is not None:
-                return parse_xml(cached)
+        if cache is None:
+            return renderer.render(bean, tag, context)
+        key = self._fragment_key(unit_id, bean)
+        if hasattr(cache, "get_or_render"):
+            # Single-flight: concurrent misses render the fragment once.
+            html = cache.get_or_render(
+                key,
+                lambda: serialize(renderer.render(bean, tag, context)),
+                entities=bean.depends_entities,
+                roles=bean.depends_roles,
+            )
+            return parse_xml(html)
+        cached = cache.get(key)
+        if cached is not None:
+            return parse_xml(cached)
         rendered = renderer.render(bean, tag, context)
-        if cache is not None:
-            cache.put(self._fragment_key(unit_id, bean), serialize(rendered))
+        cache.put(key, serialize(rendered), entities=bean.depends_entities,
+                  roles=bean.depends_roles)
         return rendered
 
     @staticmethod
-    def _render_site_menu(tag: Element, context: RenderContext) -> Element:
-        """The landmark-page navigation menu (resolved against the
-        controller's live path mapping, so re-linking never breaks it)."""
-        menu = Element("ul", {"class": "site-menu"})
-        current = tag.get("current")
-        for item in tag.find_all("menuItem"):
-            page_id = item.require_attr("page")
-            entry = menu.add("li")
-            attrs = {"href": context.controller.path_of_page(page_id)}
-            if page_id == current:
-                attrs["class"] = "current"
-            entry.add("a", attrs, text=item.get("label", page_id))
-        return menu
-
-    @staticmethod
     def _fragment_key(unit_id: str, bean) -> tuple:
-        """Fragment identity: the unit and a digest of its bean content.
+        return _bean_digest(unit_id, bean)
 
-        The digest makes the cache correct by construction — but note
-        (§6's point) the *bean* still had to be computed to produce it:
-        fragment caching spares markup generation, not the queries.
-        """
-        import hashlib
-        import json
 
-        payload = json.dumps(
-            {
-                "current": bean.current,
-                "rows": bean.rows,
-                "fields": bean.fields,
-                "block": bean.block,
-            },
-            sort_keys=True,
-            default=str,
-        )
-        digest = hashlib.sha1(payload.encode()).hexdigest()
-        return (unit_id, digest)
+def _contains_custom_tag(element: Element) -> bool:
+    return any(e.tag.startswith("webml:") for e in element.iter())
 
 
 def render_page(

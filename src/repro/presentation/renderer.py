@@ -89,7 +89,11 @@ class PresentationRenderer:
     def _compile_all(self) -> None:
         for page_id, skeleton in self.skeletons.items():
             styled = self.stylesheet.apply(skeleton)
-            self._compiled[page_id] = PageTemplate.from_xml(page_id, styled)
+            template = PageTemplate.from_xml(page_id, styled)
+            # Flatten to the segment/slot program now, at deployment:
+            # requests pay string joins, not tree walks.
+            template.compile()
+            self._compiled[page_id] = template
             self.templates_compiled += 1
 
     def template_for(self, page_id: str, user_agent: str = "") -> PageTemplate:

@@ -63,12 +63,28 @@ class RuntimeContext:
         bean_cache=None,
         pool_size: int = 8,
     ):
+        from repro.caching.bus import InvalidationBus
+
         self.database = database
         self.registry = registry
         self.bean_cache = bean_cache
         self.pool = ConnectionPool(database, size=pool_size)
         self.stats = RuntimeStats()
         self.custom_services: dict[str, object] = {}
+        # §6's write notifications fan out to every cache level through
+        # one bus; deeper tiers must be registered first (bean →
+        # fragment → page) so a rebuilding request finds clean levels.
+        self.invalidation_bus = InvalidationBus()
+        if bean_cache is not None:
+            self.invalidation_bus.register("bean", bean_cache)
+
+    def register_cache_level(self, name: str, cache) -> None:
+        """Attach another cache level (fragment, page) to the bus."""
+        self.invalidation_bus.register(name, cache)
+
+    def invalidate_writes(self, entities=(), roles=()) -> dict[str, int]:
+        """Publish an operation's write sets to every cache level."""
+        return self.invalidation_bus.invalidate_writes(entities, roles)
 
     # -- data access (the paper's JDBC layer) -------------------------------
 

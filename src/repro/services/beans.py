@@ -24,7 +24,11 @@ class UnitBean:
     - ``total``/``block``/``block_count`` — scroller window state,
     - ``outputs`` — slot→value pairs transportable over links,
     - ``from_cache`` — True when the bean was served by the §6
-      business-tier cache instead of being recomputed.
+      business-tier cache instead of being recomputed,
+    - ``depends_entities``/``depends_roles`` — the descriptor's cache
+      dependency sets, carried on the bean so downstream cache levels
+      (fragment, page) can index their entries without a registry
+      round-trip.
     """
 
     unit_id: str
@@ -38,6 +42,8 @@ class UnitBean:
     block_count: int | None = None
     outputs: dict = field(default_factory=dict)
     from_cache: bool = False
+    depends_entities: tuple = ()
+    depends_roles: tuple = ()
 
     def output(self, slot: str):
         return self.outputs.get(slot)

@@ -99,6 +99,15 @@ class GenericUnitService:
 
     def _compute_fresh(self, descriptor: UnitDescriptor, prepared: dict,
                        raw_inputs: dict) -> UnitBean:
+        bean = self._compute_bean(descriptor, prepared)
+        # Stamp the §6 dependency sets on the bean so the fragment and
+        # page caches can index entries without consulting the registry.
+        bean.depends_entities = tuple(descriptor.depends_on_entities)
+        bean.depends_roles = tuple(descriptor.depends_on_roles)
+        return bean
+
+    def _compute_bean(self, descriptor: UnitDescriptor,
+                      prepared: dict) -> UnitBean:
         if descriptor.custom_service:
             service = self.ctx.custom_service(descriptor.custom_service)
             return service.compute(descriptor, prepared, self.ctx)

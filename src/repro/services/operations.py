@@ -109,11 +109,11 @@ class _StatementOperationService(OperationServiceBase):
     def _after_success(self, descriptor: OperationDescriptor,
                        ctx: RuntimeContext) -> None:
         """§6: 'the implementation of operations automatically
-        invalidates the affected cached objects'."""
-        if ctx.bean_cache is not None:
-            ctx.bean_cache.invalidate_writes(
-                descriptor.writes_entities, descriptor.writes_roles
-            )
+        invalidates the affected cached objects' — on every cache
+        level (bean, fragment, page) through the invalidation bus."""
+        ctx.invalidate_writes(
+            descriptor.writes_entities, descriptor.writes_roles
+        )
 
 
 class CreateOperationService(_StatementOperationService):

@@ -188,10 +188,11 @@ def seed_acm_data(app: WebApplication, volumes: int = 2,
 
 
 def build_acm_application(view_renderer=None, bean_cache=None,
+                          page_cache=None,
                           **seed_kwargs) -> tuple[WebApplication, dict]:
     """Build, deploy and seed the ACM application in one call."""
     app = WebApplication(build_acm_model(), view_renderer=view_renderer,
-                         bean_cache=bean_cache)
+                         bean_cache=bean_cache, page_cache=page_cache)
     oids = seed_acm_data(app, **seed_kwargs)
     app.ctx.stats.reset()
     app.database.stats.reset()

@@ -1,8 +1,22 @@
 """Session-based traffic generation for the serving experiments.
 
-Drives a :class:`~repro.app.Browser` through an application with
-zipf-distributed page popularity — the skew that makes caches pay off —
-and reports what happened.  Determinism comes from the explicit seed.
+Drives :class:`~repro.app.Browser` sessions through an application
+with zipf-distributed page popularity — the skew that makes caches pay
+off — and reports what happened.  Determinism comes from the explicit
+seed.
+
+Beyond the read-only replay the early experiments used, the generator
+drives the **mixed read/write traffic** of E15: every ``write_every``
+requests a write operation runs (through its own authenticated
+browser), immediately followed by a *read-after-write check* — a
+public read of a page whose content the write must have changed.  A
+check that does not observe the write is a staleness violation, the
+hard failure mode a model-driven cache hierarchy must never exhibit.
+
+Delivery metrics: per-request latency percentiles, bytes on the wire
+(gzip and 304s shrink them), the 304 revalidation ratio, and the
+page-cache invalidation precision (the fraction of cached pages that
+survive each write).
 """
 
 from __future__ import annotations
@@ -13,6 +27,20 @@ from dataclasses import dataclass, field
 
 
 @dataclass
+class WriteAction:
+    """One write of the mixed workload, plus its visibility probe.
+
+    ``url`` is the operation URL to GET (with the writer's session);
+    after it completes, a read of ``check_url`` must contain
+    ``check_text`` — the read-after-write consistency probe.
+    """
+
+    url: str
+    check_url: str | None = None
+    check_text: str | None = None
+
+
+@dataclass
 class TrafficReport:
     requests: int = 0
     ok_responses: int = 0
@@ -20,12 +48,64 @@ class TrafficReport:
     elapsed_seconds: float = 0.0
     queries_executed: int = 0
     status_counts: dict = field(default_factory=dict)
+    latencies: list = field(default_factory=list)
+    bytes_on_wire: int = 0
+    writes: int = 0
+    staleness_violations: int = 0
+    #: per write: (cached pages before, surviving after invalidation)
+    invalidation_samples: list = field(default_factory=list)
 
     @property
     def requests_per_second(self) -> float:
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.requests / self.elapsed_seconds
+
+    @property
+    def not_modified(self) -> int:
+        return self.status_counts.get(304, 0)
+
+    @property
+    def not_modified_ratio(self) -> float:
+        if not self.requests:
+            return 0.0
+        return self.not_modified / self.requests
+
+    @property
+    def queries_per_request(self) -> float:
+        if not self.requests:
+            return 0.0
+        return self.queries_executed / self.requests
+
+    @property
+    def invalidation_precision(self) -> float:
+        """Mean fraction of cached pages surviving each write — 1.0
+        means writes never touch unrelated pages, 0.0 means every
+        write wipes the cache (the flush-all baseline)."""
+        fractions = [
+            surviving / before
+            for before, surviving in self.invalidation_samples
+            if before > 0
+        ]
+        if not fractions:
+            return 0.0
+        return sum(fractions) / len(fractions)
+
+    def percentile_ms(self, fraction: float) -> float:
+        """Latency percentile in milliseconds over all read requests."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index] * 1000.0
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_ms(0.50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ms(0.99)
 
 
 class TrafficGenerator:
@@ -51,12 +131,24 @@ class TrafficGenerator:
     def pick_url(self) -> str:
         return self.random.choices(self.url_pool, weights=self.weights, k=1)[0]
 
-    def run(self, requests: int, sessions: int = 4) -> TrafficReport:
-        """Issue ``requests`` GETs spread over ``sessions`` browsers."""
+    def run(self, requests: int, sessions: int = 4,
+            conditional: bool = False,
+            write_every: int = 0, write_factory=None, writer=None,
+            page_cache=None) -> TrafficReport:
+        """Issue ``requests`` GETs spread over ``sessions`` browsers.
+
+        With ``write_every > 0``, every that-many reads one write from
+        ``write_factory(index)`` (a :class:`WriteAction`) runs through
+        the ``writer`` browser, and the action's check read — issued
+        through a *reading* session — must observe the write.  Pass
+        ``page_cache`` to sample invalidation precision around each
+        write.  Only reads contribute to latency/bytes/status metrics.
+        """
         from repro.app import Browser
 
         browsers = [
-            Browser(self.app, user_agent=self.user_agent)
+            Browser(self.app, user_agent=self.user_agent,
+                    conditional=conditional)
             for _ in range(max(1, sessions))
         ]
         report = TrafficReport()
@@ -64,20 +156,46 @@ class TrafficGenerator:
         started = time.perf_counter()
         for position in range(requests):
             browser = browsers[position % len(browsers)]
+            request_started = time.perf_counter()
             response = browser.get(self.pick_url())
+            report.latencies.append(time.perf_counter() - request_started)
             report.requests += 1
             report.status_counts[response.status] = (
                 report.status_counts.get(response.status, 0) + 1
             )
-            if response.status == 200:
+            report.bytes_on_wire += response.wire_length
+            if response.status in (200, 304):
                 report.ok_responses += 1
             else:
                 report.errors += 1
+            if write_every and (position + 1) % write_every == 0:
+                self._write(report, write_factory, writer or browsers[0],
+                            browsers[(position + 1) % len(browsers)],
+                            page_cache)
         report.elapsed_seconds = time.perf_counter() - started
         report.queries_executed = (
             self.app.ctx.stats.queries_executed - queries_before
         )
         return report
+
+    def _write(self, report: TrafficReport, write_factory, writer,
+               reader, page_cache) -> None:
+        if write_factory is None:
+            raise ValueError("write_every needs a write_factory")
+        action: WriteAction = write_factory(report.writes)
+        before = len(page_cache) if page_cache is not None else 0
+        # The operation commits before its OK-link redirect is issued;
+        # not following it keeps the invalidation sample clean.
+        writer.get(action.url, follow_redirects=False)
+        surviving = len(page_cache) if page_cache is not None else 0
+        if page_cache is not None:
+            report.invalidation_samples.append((before, surviving))
+        report.writes += 1
+        if action.check_url is not None:
+            check = reader.get(action.check_url)
+            if action.check_text is not None and \
+                    action.check_text not in check.body:
+                report.staleness_violations += 1
 
 
 def page_url_pool(app, site_view_name: str,

@@ -15,7 +15,7 @@ external XML library:
 from repro.xmlkit.node import Element, Text, Node
 from repro.xmlkit.parser import parse_xml
 from repro.xmlkit.patterns import Pattern, compile_pattern
-from repro.xmlkit.writer import serialize, pretty_print
+from repro.xmlkit.writer import serialize, pretty_print, open_tag, escape_text
 
 __all__ = [
     "Node",
@@ -24,6 +24,8 @@ __all__ = [
     "parse_xml",
     "serialize",
     "pretty_print",
+    "open_tag",
+    "escape_text",
     "Pattern",
     "compile_pattern",
 ]

@@ -82,12 +82,15 @@ class Element(Node):
             text: str | None = None) -> "Element":
         """Convenience: create and append a child element.
 
+        An empty ``text`` adds no child: ``<x></x>`` reparses as ``<x/>``,
+        so emitting a bare element keeps serialization round-trip stable.
+
         >>> root = Element("page")
         >>> root.add("unit", {"id": "u1"}, text="hello").tag
         'unit'
         """
         child = Element(tag, attrs)
-        if text is not None:
+        if text:
             child.append(Text(text))
         self.append(child)
         return child

@@ -19,11 +19,16 @@ def escape_attr(value: str) -> str:
     return escape_text(value).replace('"', "&quot;")
 
 
-def _open_tag(element: Element, self_close: bool) -> str:
+def open_tag(element: Element, self_close: bool = False) -> str:
+    """The serialized start tag of ``element`` (used by the template
+    compiler to emit static markup around dynamic slots)."""
     parts = [element.tag]
     parts.extend(f'{name}="{escape_attr(value)}"' for name, value in element.attrs.items())
     slash = "/" if self_close else ""
     return f"<{' '.join(parts)}{slash}>"
+
+
+_open_tag = open_tag
 
 
 def serialize(node: Node) -> str:

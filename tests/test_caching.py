@@ -82,6 +82,127 @@ class TestFragmentCache:
         with pytest.raises(CacheError):
             FragmentCache(max_entries=0)
 
+    def test_scoped_invalidation_drops_only_dependents(self):
+        cache = FragmentCache()
+        cache.put("papers", "<div/>", entities=["Paper"])
+        cache.put("volumes", "<div/>", entities=["Volume"])
+        cache.put("authors", "<div/>", roles=["Authorship"])
+        assert cache.invalidate_writes(entities=["Paper"]) == 1
+        assert cache.get("papers") is None
+        assert cache.get("volumes") is not None
+        assert cache.invalidate_writes(roles=["Authorship"]) == 1
+        assert cache.get("authors") is None
+        assert cache.dependents_of(entity="Paper") == 0
+        assert cache.dependents_of(role="Authorship") == 0
+
+    def test_unscoped_mode_flushes_on_any_write(self):
+        cache = FragmentCache(scoped=False)
+        cache.put("papers", "<div/>", entities=["Paper"])
+        cache.put("volumes", "<div/>", entities=["Volume"])
+        assert cache.invalidate_writes(entities=["Author"]) == 2
+        assert len(cache) == 0
+        # ...but an operation with an empty write set drops nothing
+        cache.put("papers", "<div/>", entities=["Paper"])
+        assert cache.invalidate_writes() == 0
+        assert len(cache) == 1
+
+    def test_eviction_cleans_dependency_indexes(self):
+        cache = FragmentCache(max_entries=2)
+        cache.put("a", "1", entities=["Paper"])
+        cache.put("b", "2", entities=["Paper"])
+        cache.put("c", "3", entities=["Paper"])  # evicts a
+        assert cache.dependents_of(entity="Paper") == 2
+
+
+class TestFragmentSingleFlight:
+    def test_renders_missing_fragment_once_across_threads(self):
+        import threading
+
+        cache = FragmentCache()
+        renders = []
+        gate = threading.Event()
+
+        def render():
+            gate.wait(2.0)
+            renders.append(1)
+            return "<div>once</div>"
+
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(
+                cache.get_or_render("k", render)
+            ))
+            for _ in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        gate.set()
+        for thread in threads:
+            thread.join()
+        assert len(renders) == 1
+        assert results == ["<div>once</div>"] * 6
+        assert cache.stats.coalesced >= 1
+
+    def test_failed_render_leaves_no_stuck_flight(self):
+        cache = FragmentCache()
+
+        def explode():
+            raise RuntimeError("render failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_render("k", explode)
+        # the in-flight marker was cleaned up: the next caller is not
+        # stuck waiting on a leader that will never publish
+        assert not cache._in_flight
+        assert cache.get_or_render("k", lambda: "<ok/>") == "<ok/>"
+
+    def test_waiter_retries_after_leader_failure(self):
+        import threading
+
+        cache = FragmentCache()
+        leader_entered = threading.Event()
+        release_leader = threading.Event()
+
+        def failing_render():
+            leader_entered.set()
+            release_leader.wait(2.0)
+            raise RuntimeError("leader died")
+
+        errors, results = [], []
+
+        def leader():
+            try:
+                cache.get_or_render("k", failing_render)
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        def waiter():
+            leader_entered.wait(2.0)
+            results.append(cache.get_or_render("k", lambda: "<recovered/>"))
+
+        threads = [threading.Thread(target=leader),
+                   threading.Thread(target=waiter)]
+        for thread in threads:
+            thread.start()
+        leader_entered.wait(2.0)
+        release_leader.set()
+        for thread in threads:
+            thread.join()
+        assert len(errors) == 1  # the leader's failure surfaced to it
+        assert results == ["<recovered/>"]  # the waiter retried and won
+        assert not cache._in_flight
+
+    def test_invalidation_during_render_discards_result(self):
+        cache = FragmentCache()
+
+        def render():
+            cache.invalidate_writes(entities=["Paper"])
+            return "<stale/>"
+
+        html = cache.get_or_render("k", render, entities=["Paper"])
+        assert html == "<stale/>"  # the caller still gets markup
+        assert cache.get("k") is None  # but it was never cached
+
 
 def _bean(unit_id="u1") -> UnitBean:
     return UnitBean(unit_id, "Unit", "index", rows=[{"oid": 1}])

@@ -26,10 +26,26 @@ class TestHttpObjects:
     def test_build_url_skips_none(self):
         assert build_url("/p", {"a": None}) == "/p"
 
+    def test_build_url_expands_list_params(self):
+        """A multi-select (checkbox group) must emit one pair per value,
+        not a stringified Python list."""
+        url = build_url("/do/op5", {"op5.oid": ["1", "2"], "b": "x"})
+        assert url == "/do/op5?op5.oid=1&op5.oid=2&b=x"
+        request = HttpRequest.from_url(url)
+        assert request.params == {"op5.oid": ["1", "2"], "b": "x"}
+
     def test_response_redirect(self):
         response = HttpResponse.redirect("/elsewhere")
         assert response.is_redirect
         assert response.location == "/elsewhere"
+
+    def test_all_redirect_statuses_recognized(self):
+        for status in (301, 302, 303, 307, 308):
+            response = HttpResponse(status=status,
+                                    headers={"Location": "/x"})
+            assert response.is_redirect, status
+        for status in (200, 304, 404):
+            assert not HttpResponse(status=status).is_redirect
 
     def test_session_lifecycle(self):
         session = Session("s1")
@@ -225,6 +241,39 @@ class TestFrontController:
         browser = Browser(acm_app)
         browser.get("/")
         assert acm_app.front.requests_served >= 2  # redirect + page
+
+
+class _PermanentlyMovedApp:
+    """A stub application whose entry path answers with a configurable
+    redirect status — the flavours a reverse proxy or a renamed site
+    view produce."""
+
+    def __init__(self, status: int):
+        self.status = status
+
+    def handle(self, request):
+        if request.path == "/start":
+            return HttpResponse(status=self.status,
+                                headers={"Location": "/final"})
+        return HttpResponse(status=200, body=f"arrived via {self.status}")
+
+
+class TestBrowserRedirectFollowing:
+    @pytest.mark.parametrize("status", [301, 307, 308])
+    def test_follows_every_redirect_flavour(self, status):
+        browser = Browser(_PermanentlyMovedApp(status))
+        response = browser.get("/start")
+        assert response.status == 200
+        assert response.body == f"arrived via {status}"
+        assert browser.history[-1] == "/final"
+
+    @pytest.mark.parametrize("status", [301, 307, 308])
+    def test_follow_can_be_disabled(self, status):
+        response = Browser(_PermanentlyMovedApp(status)).get(
+            "/start", follow_redirects=False
+        )
+        assert response.status == status
+        assert response.location == "/final"
 
 
 class TestBulkOperations:

@@ -357,6 +357,113 @@ class TestSiteMenu:
             ["Volumes", "Browse papers"]
 
 
+class TestCompiledTemplateOracle:
+    """The compiled segment/slot program against the tree-walking
+    renderer: byte-identical output on every workload page, with and
+    without the fragment cache."""
+
+    def _styled_app(self, build_model, seed, fragment_cache=None):
+        model = build_model()
+        for unit in model.all_units():
+            if unit.kind != "entry":
+                unit.cacheable = True
+        project = generate_project(model)
+        stylesheet = default_stylesheet("Oracle")
+        if fragment_cache is not None:
+            for rule in stylesheet.unit_rules:
+                rule.set_attrs["fragment"] = "cache"
+        renderer = PresentationRenderer(
+            project.skeletons, stylesheet, fragment_cache=fragment_cache
+        )
+        app = WebApplication(model, view_renderer=renderer)
+        seed(app)
+        return app, renderer
+
+    def _page_results(self, app):
+        """Every page of every site view, each with an empty selection
+        and — when the page has a data unit — a selected object."""
+        from repro.services import GenericPageService
+
+        service = GenericPageService(app.ctx)
+        for view in app.model.site_views:
+            for page in view.all_pages():
+                descriptor = app.registry.page(page.id)
+                param_sets = [{}]
+                data_units = [u for u in page.units if u.kind == "data"]
+                if data_units:
+                    param_sets.append({f"{data_units[0].id}.oid": "1"})
+                for params in param_sets:
+                    yield page.id, service.compute_page(descriptor, params)
+
+    def _assert_oracle(self, build_model, seed, fragment_cache):
+        from repro.presentation.jsp import RenderContext
+
+        app, renderer = self._styled_app(build_model, seed, fragment_cache)
+        compared = 0
+        # two passes: the second hits warm fragments (the splice path)
+        for _ in range(2 if fragment_cache is not None else 1):
+            for page_id, result in self._page_results(app):
+                template = renderer.template_for(page_id)
+                compiled = template.render(RenderContext(
+                    result, app.controller, fragment_cache=fragment_cache
+                ))
+                oracle = template.render_tree(RenderContext(
+                    result, app.controller, fragment_cache=fragment_cache
+                ))
+                assert compiled == oracle, f"divergence on page {page_id}"
+                compared += 1
+        assert compared >= 8
+
+    def test_acm_pages_match_oracle(self):
+        self._assert_oracle(build_acm_webml, seed_acm, None)
+
+    def test_acm_pages_match_oracle_with_fragments(self):
+        from repro.caching import FragmentCache
+
+        self._assert_oracle(build_acm_webml, seed_acm, FragmentCache())
+
+    def test_bookstore_pages_match_oracle(self):
+        from repro.caching import FragmentCache
+        from repro.workloads.bookstore import (
+            build_bookstore_model,
+            seed_bookstore,
+        )
+
+        self._assert_oracle(build_bookstore_model, seed_bookstore, None)
+        self._assert_oracle(build_bookstore_model, seed_bookstore,
+                            FragmentCache())
+
+    def test_fragment_hit_render_never_parses_or_serializes(self, monkeypatch):
+        """The compiled fast path: once fragments are warm, a full page
+        render is pure string assembly — zero parse_xml / serialize."""
+        import repro.presentation.jsp as jsp
+        from repro.caching import FragmentCache
+        from repro.presentation.jsp import RenderContext
+
+        fragment_cache = FragmentCache()
+        app, renderer = self._styled_app(build_acm_webml, seed_acm,
+                                         fragment_cache)
+        browser = Browser(app)
+        browser.get("/")  # warm: fragments stored, menu memoized
+        warm_body = browser.body
+
+        calls = {"serialize": 0, "parse_xml": 0}
+        real_serialize, real_parse = jsp.serialize, jsp.parse_xml
+
+        def counting_serialize(*args, **kwargs):
+            calls["serialize"] += 1
+            return real_serialize(*args, **kwargs)
+
+        def counting_parse(*args, **kwargs):
+            calls["parse_xml"] += 1
+            return real_parse(*args, **kwargs)
+
+        monkeypatch.setattr(jsp, "serialize", counting_serialize)
+        monkeypatch.setattr(jsp, "parse_xml", counting_parse)
+        assert browser.get("/").body == warm_body
+        assert calls == {"serialize": 0, "parse_xml": 0}
+
+
 class TestFragmentCachingInTemplates:
     """Direct template-level checks of the §6 fragment path."""
 
