@@ -23,6 +23,7 @@ from concurrent.futures import Future
 
 from repro.errors import ContainerError
 from repro.mvc.http import HttpRequest, HttpResponse
+from repro.obs.metrics import MetricsRegistry
 
 _STOP = object()
 
@@ -48,9 +49,16 @@ class ThreadedAppServer:
         self.failures = 0  # requests whose handler raised (bugs, not 4xx/5xx)
         self.served_per_worker: list[int] = []
         self.total_queue_wait_seconds = 0.0
-        # delivery-tier observability: what actually crossed the wire
-        self.status_counts: dict[int, int] = {}
-        self.bytes_on_wire = 0
+        # Delivery-tier observability: what actually crossed the wire.
+        # Counters live in a per-server registry (a restarted server
+        # starts from zero without disturbing the application's
+        # metrics); the snapshot is exported into the application's
+        # registry as an ``appserver`` collector for ``/_status``.
+        self.metrics = MetricsRegistry()
+        self._bytes_counter = self.metrics.counter("appserver.bytes_on_wire")
+        app_obs = getattr(getattr(app, "ctx", None), "obs", None)
+        if app_obs is not None:
+            app_obs.metrics.register_collector("appserver", self.stats)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -125,13 +133,27 @@ class ThreadedAppServer:
                     self.requests_served += 1
                     self.served_per_worker[index] += 1
                     self.total_queue_wait_seconds += waited
-                    self.status_counts[response.status] = (
-                        self.status_counts.get(response.status, 0) + 1
-                    )
-                    self.bytes_on_wire += response.wire_length
+                self.metrics.counter(
+                    f"appserver.status.{response.status}"
+                ).inc()
+                self._bytes_counter.inc(response.wire_length)
                 future.set_result(response)
 
     # -- observation ----------------------------------------------------------
+
+    @property
+    def status_counts(self) -> dict[int, int]:
+        """Responses delivered, by HTTP status (read from the registry)."""
+        prefix = "appserver.status."
+        return {
+            int(name[len(prefix):]): value
+            for name, value in self.metrics.counters(prefix).items()
+        }
+
+    @property
+    def bytes_on_wire(self) -> int:
+        """Total response bytes as encoded for the wire."""
+        return self._bytes_counter.value
 
     def stats(self) -> dict:
         with self._lock:

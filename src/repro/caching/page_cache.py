@@ -18,6 +18,23 @@ Entries carry the content digest (the HTTP ``ETag``) and a
 deterministic gzip body, so conditional and compressed delivery costs
 nothing on a hit.  LRU bounded, optional TTL, single-flight builds
 with the same invalidation-generation guard as the other levels.
+
+Invalidation-ordering invariants (what keeps stale pages impossible):
+
+- the :class:`~repro.caching.bus.InvalidationBus` notifies cache
+  levels in registration order — bean before fragment before page —
+  so when the page level starts rebuilding, the deeper levels it will
+  read through are already clean; registering the page cache first
+  would let a rebuilding page resurrect stale beans;
+- every entry records the invalidation *generation* current when its
+  build began; a write landing mid-build bumps the generation, and the
+  finished entry is then discarded instead of stored — a build can
+  never publish data older than the last write it raced with;
+- ``invalidate_writes`` runs synchronously in the writing request's
+  thread, after the DML commits and *before* the operation's redirect
+  is produced — so the page the writer is bounced to is rebuilt, and a
+  session that just wrote always re-reads its own write (§6's
+  consistency requirement).
 """
 
 from __future__ import annotations

@@ -31,6 +31,19 @@ class CacheStats(AtomicCounters):
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def to_dict(self) -> dict:
+        """Snapshot for the observability registry's collectors."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "puts": self.puts,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "coalesced": self.coalesced,
+        }
+
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0

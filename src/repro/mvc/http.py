@@ -70,6 +70,9 @@ class HttpResponse:
     content_type: str = "text/html"
     headers: dict = field(default_factory=dict)
     encoded_body: bytes | None = None
+    #: the request's span tree when tracing is on (set by the front
+    #: controller); in-process tests read it, the wire never carries it
+    trace: object | None = None
 
     @classmethod
     def redirect(cls, location: str) -> "HttpResponse":

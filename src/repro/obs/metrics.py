@@ -1,0 +1,255 @@
+"""A lock-cheap metrics registry: counters, gauges, log-scale histograms.
+
+The registry is the operator-facing aggregation point of the runtime:
+every tier publishes into one :class:`MetricsRegistry` (owned by the
+:class:`~repro.obs.core.Observability` object on the runtime context),
+and the ``/_status`` endpoint renders its snapshot.
+
+Design constraints, in order:
+
+1. **Hot-path cost** — a counter bump is one plain integer add and a
+   histogram record is an integer ``bit_length`` bucket index plus a
+   handful of attribute writes; neither takes a lock.  Under CPython
+   an unlocked ``+=`` can lose an increment only when the thread is
+   preempted between its read and its write — once per interpreter
+   switch interval at worst — and observability tolerates a lost
+   count where it cannot tolerate a lock acquire/release pair on
+   every request.  (Gauges keep a lock: ``inc``/``dec`` pairs must
+   balance, and gauges sit off the per-request path.)  Metric objects
+   are meant to be *looked up once and kept* by instrumented code
+   (the rdb tier caches its statement histogram on the database
+   object), so the registry dictionary is not consulted per event.
+2. **Read consistency** — :meth:`MetricsRegistry.snapshot` gives a
+   point-in-time dict of every metric; per-metric reads are atomic,
+   cross-metric skew is accepted (observability, not accounting).
+3. **No double counting** — tiers that already keep their own counters
+   (cache :class:`~repro.caching.stats.CacheStats`, pool wait stats,
+   database statement counters) are surfaced through *collectors*:
+   callables polled only at snapshot time, costing the hot path
+   nothing.
+
+Histograms are log₂-bucketed over microseconds: bucket *b* covers
+``[2^(b-1), 2^b) µs``, so the full range from 1 µs to over an hour
+fits in 42 buckets and percentile estimates are within a factor of 2
+everywhere — the right trade for latency distributions whose interesting
+differences are orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: bucket count: 2^41 µs ≈ 36 minutes, enough for any request latency
+_BUCKETS = 42
+
+
+class Counter:
+    """A monotonically increasing counter.
+
+    Deliberately unlocked: see the module docstring — a preemption
+    exactly between the read and write of ``+=`` can drop one count,
+    which observability accepts in exchange for a lock-free hot path.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def inc(self, by: int = 1) -> None:
+        self._value += by
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (pool connections in use, queue depth)."""
+
+    __slots__ = ("_lock", "_value", "_max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._max = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+            if value > self._max:
+                self._max = value
+
+    def inc(self, by: float = 1.0) -> None:
+        with self._lock:
+            self._value += by
+            if self._value > self._max:
+                self._max = self._value
+
+    def dec(self, by: float = 1.0) -> None:
+        with self._lock:
+            self._value -= by
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def max_value(self) -> float:
+        """High-water mark since creation (peak pool usage)."""
+        return self._max
+
+
+class Histogram:
+    """Log₂-bucketed duration histogram with percentile estimates.
+
+    :meth:`record` takes **seconds**; buckets are powers of two in
+    microseconds.  Percentiles return the geometric midpoint of the
+    bucket holding the requested rank — accurate to within the bucket's
+    factor-of-2 width, which is what a log-scale histogram promises.
+
+    Like :class:`Counter`, records are unlocked; a reader racing a
+    writer may see a snapshot one event out of step across fields,
+    which percentile estimates with factor-of-2 buckets don't notice.
+    """
+
+    __slots__ = ("_counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self._counts = [0] * _BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def record(self, seconds: float) -> None:
+        micros = int(seconds * 1e6)
+        bucket = min(micros.bit_length(), _BUCKETS - 1) if micros > 0 else 0
+        self._counts[bucket] += 1
+        self.count += 1
+        self.total += seconds
+        if self.min is None or seconds < self.min:
+            self.min = seconds
+        if self.max is None or seconds > self.max:
+            self.max = seconds
+
+    def percentile(self, fraction: float) -> float:
+        """Estimated value (seconds) at ``fraction`` of the recorded
+        distribution; 0.0 before anything was recorded."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(fraction * self.count))
+        seen = 0
+        for bucket, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= rank:
+                if bucket == 0:
+                    return 0.0
+                # geometric midpoint of [2^(b-1), 2^b) µs
+                return (2 ** (bucket - 1)) * 1.5 / 1e6
+        return self.max or 0.0
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """Snapshot with millisecond-denominated summary statistics."""
+        count, total = self.count, self.total
+        low, high = self.min, self.max
+        return {
+            "count": count,
+            "sum_ms": round(total * 1000.0, 3),
+            "min_ms": round((low or 0.0) * 1000.0, 3),
+            "max_ms": round((high or 0.0) * 1000.0, 3),
+            "mean_ms": round((total / count if count else 0.0) * 1000.0, 3),
+            "p50_ms": round(self.p50 * 1000.0, 3),
+            "p95_ms": round(self.p95 * 1000.0, 3),
+            "p99_ms": round(self.p99 * 1000.0, 3),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics plus snapshot-time collectors.
+
+    ``counter``/``gauge``/``histogram`` create on first use and always
+    return the same object for a name, so instrumented code can cache
+    the reference and never pay the registry lookup again.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._collectors: dict[str, object] = {}
+
+    def _get_or_create(self, table: dict, name: str, factory):
+        metric = table.get(name)
+        if metric is None:
+            with self._lock:
+                metric = table.setdefault(name, factory())
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(self._gauges, name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(self._histograms, name, Histogram)
+
+    def register_collector(self, name: str, collect) -> None:
+        """Attach a snapshot-time stats source (``collect() -> dict``).
+
+        Re-registering a name replaces the previous collector — a new
+        app server instance takes over its predecessor's slot.
+        """
+        with self._lock:
+            self._collectors[name] = collect
+
+    # -- reading ------------------------------------------------------------
+
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        with self._lock:
+            items = list(self._counters.items())
+        return {
+            name: counter.value
+            for name, counter in items if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> dict:
+        """Every metric, point in time, JSON-shaped."""
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
+            collectors = list(self._collectors.items())
+        external = {}
+        for name, collect in collectors:
+            try:
+                external[name] = collect()
+            except Exception as exc:  # a broken collector must not 500 /_status
+                external[name] = {"error": repr(exc)}
+        return {
+            "counters": {name: c.value for name, c in counters},
+            "gauges": {
+                name: {"value": g.value, "max": g.max_value}
+                for name, g in gauges
+            },
+            "histograms": {name: h.to_dict() for name, h in histograms},
+            "external": external,
+        }

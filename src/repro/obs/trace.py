@@ -1,0 +1,211 @@
+"""Per-request trace contexts: a span tree over the MVC2 tiers.
+
+A *trace* is one request's span tree: the front controller opens the
+root span, and every tier the request crosses — controller actions,
+unit services, data-extraction statements, cache probes, template
+rendering — contributes child spans tagged with the tier that produced
+them (``mvc``, ``services``, ``rdb``, ``cache``).  The result is the
+Figure 3 request path made visible: *where* a request spent its time,
+tier by tier, statement by statement.
+
+Propagation uses :mod:`contextvars`, so the active span follows the
+call stack of the worker thread serving the request without any tier
+having to pass a context object through its signatures.  The deep
+tiers (the rdb engine, the caches, the template engine) call
+:func:`span` or :func:`attach_span` unconditionally; when no trace is
+active — benchmarks poking a tier directly, tracing disabled — both
+degrade to a no-op whose cost is a single context-variable read.
+
+Two ways to record a span:
+
+- :class:`span` — a context manager that *becomes the current span*
+  for its extent, so nested work (a unit service running queries, a
+  cache miss computing its value) lands underneath it;
+- :meth:`Span.attach` / :func:`attach_span` — append an already-timed
+  leaf span (the rdb tier measures a statement first, then attaches
+  it, paying nothing when no trace is active).
+
+Both context managers are hand-written classes, not
+``contextlib.contextmanager`` generators: they sit on the request hot
+path, and the class form costs roughly a third of the generator form.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+
+#: the innermost open span of the request being served on this thread
+_current_span: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class Span:
+    """One timed step of a request, with its nested children."""
+
+    __slots__ = ("name", "tier", "tags", "started", "duration", "children")
+
+    def __init__(self, name: str, tier: str = "", tags: dict | None = None,
+                 started: float | None = None):
+        self.name = name
+        self.tier = tier
+        self.tags = tags if tags is not None else {}
+        self.started = time.perf_counter() if started is None else started
+        self.duration: float | None = None
+        self.children: list[Span] = []
+
+    def finish(self) -> None:
+        if self.duration is None:
+            self.duration = time.perf_counter() - self.started
+
+    @property
+    def duration_ms(self) -> float:
+        return (self.duration or 0.0) * 1000.0
+
+    def attach(self, name: str, tier: str, started: float, duration: float,
+               tags: dict | None = None) -> "Span":
+        """Append an already-completed leaf span."""
+        child = Span(name, tier, tags, started=started)
+        child.duration = duration
+        self.children.append(child)
+        return child
+
+    def walk(self):
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "tier": self.tier,
+            "ms": round(self.duration_ms, 3),
+            "tags": dict(self.tags),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, tier={self.tier!r}, ms={self.duration_ms:.3f})"
+
+
+class Trace:
+    """One request's span tree, rooted at the front controller."""
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: Span):
+        self.root = root
+
+    def spans(self):
+        """Every span of the tree, depth-first, root included."""
+        return self.root.walk()
+
+    def spans_in(self, tier: str) -> list[Span]:
+        return [span for span in self.spans() if span.tier == tier]
+
+    def spans_named(self, prefix: str) -> list[Span]:
+        return [span for span in self.spans() if span.name.startswith(prefix)]
+
+    def tier_totals(self) -> dict[str, tuple[int, float]]:
+        """tier → (span count, summed seconds), root excluded."""
+        totals: dict[str, tuple[int, float]] = {}
+        for span in self.spans():
+            if span is self.root:
+                continue
+            count, seconds = totals.get(span.tier, (0, 0.0))
+            totals[span.tier] = (count + 1, seconds + (span.duration or 0.0))
+        return totals
+
+    def summary(self) -> str:
+        """A one-line rendition for the ``X-Trace`` response header,
+        e.g. ``GET /pv/p1 1.84ms; mvc=2/1.7ms services=4/1.2ms
+        rdb=9/0.8ms cache=5/0.1ms``."""
+        parts = [f"{self.root.name} {self.root.duration_ms:.2f}ms"]
+        tiers = []
+        for tier, (count, seconds) in sorted(self.tier_totals().items()):
+            tiers.append(f"{tier}={count}/{seconds * 1000.0:.2f}ms")
+        if tiers:
+            parts.append(" ".join(tiers))
+        return "; ".join(parts)
+
+    def to_dict(self) -> dict:
+        return self.root.to_dict()
+
+
+def current_span() -> Span | None:
+    """The innermost open span of this thread's request, if any."""
+    return _current_span.get()
+
+
+#: the context variable itself, for hot call sites that want to pay a
+#: bare ``.get()`` instead of a function call when probing for a trace
+current_span_var = _current_span
+
+
+class trace:
+    """Open a new trace; the root span becomes the current span.
+
+    ``with trace(name) as t:`` yields the :class:`Trace`; nested
+    :class:`span`/:func:`attach_span` calls land inside it until the
+    block exits.
+    """
+
+    __slots__ = ("_root", "_token")
+
+    def __init__(self, name: str, tier: str = "mvc", **tags):
+        self._root = Span(name, tier, tags or None)
+
+    def __enter__(self) -> Trace:
+        self._token = _current_span.set(self._root)
+        return Trace(self._root)
+
+    def __exit__(self, *exc_info) -> bool:
+        self._root.finish()
+        _current_span.reset(self._token)
+        return False
+
+
+class span:
+    """A child span of the current span — or a no-op without a trace.
+
+    ``with span(name, tier=...) as s:`` yields the new :class:`Span`
+    (so callers can set tags discovered mid-flight, like cache
+    hit/miss), or ``None`` when no trace is active — the no-op case
+    costs one context-variable read.
+    """
+
+    __slots__ = ("_name", "_tier", "_tags", "_child", "_token")
+
+    def __init__(self, name: str, tier: str = "", **tags):
+        self._name = name
+        self._tier = tier
+        self._tags = tags
+
+    def __enter__(self) -> Span | None:
+        parent = _current_span.get()
+        if parent is None:
+            self._child = None
+            return None
+        child = Span(self._name, self._tier, self._tags or None)
+        parent.children.append(child)
+        self._token = _current_span.set(child)
+        self._child = child
+        return child
+
+    def __exit__(self, *exc_info) -> bool:
+        child = self._child
+        if child is not None:
+            child.finish()
+            _current_span.reset(self._token)
+        return False
+
+
+def attach_span(name: str, tier: str, started: float, duration: float,
+                tags: dict | None = None) -> Span | None:
+    """Attach a completed leaf span to the current span, if any."""
+    parent = _current_span.get()
+    if parent is None:
+        return None
+    return parent.attach(name, tier, started, duration, tags)

@@ -32,6 +32,7 @@ import json
 from repro.descriptors import PageDescriptor
 from repro.errors import TemplateRenderError
 from repro.mvc.http import build_url
+from repro.obs import span
 from repro.presentation.tags import renderer_for_tag
 from repro.services.page_service import PageResult
 from repro.xmlkit import (
@@ -122,21 +123,32 @@ class _UnitSlot:
         if cache is None:
             return serialize(renderer.render(bean, self.tag, context))
         key = _bean_digest(self.unit_id, bean)
-        if hasattr(cache, "get_or_render"):
-            # Single-flight: concurrent misses render the fragment once;
-            # a hit splices the cached string — no parse, no serialize.
-            return cache.get_or_render(
-                key,
-                lambda: serialize(renderer.render(bean, self.tag, context)),
-                entities=bean.depends_entities,
-                roles=bean.depends_roles,
-            )
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
-        html = serialize(renderer.render(bean, self.tag, context))
-        cache.put(key, html, entities=bean.depends_entities,
-                  roles=bean.depends_roles)
+        rendered_fresh = False
+
+        def _build() -> str:
+            nonlocal rendered_fresh
+            rendered_fresh = True
+            return serialize(renderer.render(bean, self.tag, context))
+
+        with span("cache.fragment", tier="cache", level="fragment",
+                  unit=self.unit_id) as probe:
+            if hasattr(cache, "get_or_render"):
+                # Single-flight: concurrent misses render the fragment
+                # once; a hit splices the cached string — no parse, no
+                # serialize.
+                html = cache.get_or_render(
+                    key, _build,
+                    entities=bean.depends_entities,
+                    roles=bean.depends_roles,
+                )
+            else:
+                html = cache.get(key)
+                if html is None:
+                    html = _build()
+                    cache.put(key, html, entities=bean.depends_entities,
+                              roles=bean.depends_roles)
+            if probe is not None:
+                probe.tags["hit"] = not rendered_fresh
         return html
 
 
@@ -291,22 +303,31 @@ class PageTemplate:
         if cache is None:
             return renderer.render(bean, tag, context)
         key = self._fragment_key(unit_id, bean)
-        if hasattr(cache, "get_or_render"):
-            # Single-flight: concurrent misses render the fragment once.
-            html = cache.get_or_render(
-                key,
-                lambda: serialize(renderer.render(bean, tag, context)),
-                entities=bean.depends_entities,
-                roles=bean.depends_roles,
-            )
-            return parse_xml(html)
-        cached = cache.get(key)
-        if cached is not None:
-            return parse_xml(cached)
-        rendered = renderer.render(bean, tag, context)
-        cache.put(key, serialize(rendered), entities=bean.depends_entities,
-                  roles=bean.depends_roles)
-        return rendered
+        rendered_fresh = False
+
+        def _build() -> str:
+            nonlocal rendered_fresh
+            rendered_fresh = True
+            return serialize(renderer.render(bean, tag, context))
+
+        with span("cache.fragment", tier="cache", level="fragment",
+                  unit=unit_id) as probe:
+            if hasattr(cache, "get_or_render"):
+                # Single-flight: concurrent misses render the fragment once.
+                html = cache.get_or_render(
+                    key, _build,
+                    entities=bean.depends_entities,
+                    roles=bean.depends_roles,
+                )
+            else:
+                html = cache.get(key)
+                if html is None:
+                    html = _build()
+                    cache.put(key, html, entities=bean.depends_entities,
+                              roles=bean.depends_roles)
+            if probe is not None:
+                probe.tags["hit"] = not rendered_fresh
+        return parse_xml(html)
 
     @staticmethod
     def _fragment_key(unit_id: str, bean) -> tuple:

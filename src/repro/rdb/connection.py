@@ -184,9 +184,27 @@ class ConnectionPool:
         self.total_wait_seconds = 0.0
         #: waits that gave up (timeout expired or block=False)
         self.exhausted_failures = 0
+        # observability (bound by the runtime context): wait-time
+        # histogram plus an in-use gauge; None keeps both sites no-ops
+        self._wait_histogram = None
+        self._in_use_gauge = None
+        self._obs = None
+
+    def bind_observability(self, obs) -> None:
+        """Attach the application's metrics registry; waits feed the
+        ``rdb.pool.wait_seconds`` histogram and every acquire/release
+        updates the ``rdb.pool.in_use`` gauge."""
+        self._obs = obs
+        self._wait_histogram = obs.metrics.histogram("rdb.pool.wait_seconds")
+        self._in_use_gauge = obs.metrics.gauge("rdb.pool.in_use")
+        obs.metrics.register_collector("rdb.pool", self.wait_stats)
+
+    def _observing(self) -> bool:
+        return self._obs is not None and self._obs.enabled
 
     def acquire(self, timeout: float | None = None,
                 block: bool = True) -> Connection:
+        waited = None
         with self._cond:
             if not self._idle:
                 if not block:
@@ -210,12 +228,18 @@ class ConnectionPool:
                             f"in use; timed out after {timeout:.3f}s)"
                         )
                     self._cond.wait(remaining)
-                self.total_wait_seconds += time.monotonic() - started
+                waited = time.monotonic() - started
+                self.total_wait_seconds += waited
             connection = self._idle.pop()
             self._in_use.add(id(connection))
             self.acquired_total += 1
             self.peak_in_use = max(self.peak_in_use, len(self._in_use))
-            return connection
+            in_use_now = len(self._in_use)
+        if self._observing():
+            self._in_use_gauge.set(in_use_now)
+            if waited is not None:
+                self._wait_histogram.record(waited)
+        return connection
 
     def release(self, connection: Connection) -> None:
         with self._cond:
@@ -229,6 +253,9 @@ class ConnectionPool:
             self._in_use.remove(id(connection))
             self._idle.append(connection)
             self._cond.notify()
+            in_use_now = len(self._in_use)
+        if self._observing():
+            self._in_use_gauge.set(in_use_now)
 
     def _is_leased(self, connection: Connection) -> bool:
         with self._cond:

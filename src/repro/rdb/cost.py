@@ -10,6 +10,26 @@ while distributions (distinct counts, min/max) come from the snapshot.
 
 Only plan *shape* depends on these numbers; results never do, because
 every scan re-checks the predicate it consumed.
+
+Assumptions the model rests on (the classic Selinger simplifications):
+
+- **uniformity** — values are spread evenly across a column's range,
+  so equality selects ``1/distinct`` and a range predicate selects the
+  covered fraction of ``[min, max]``;
+- **independence** — conjunct selectivities multiply; correlated
+  predicates (e.g. ``year = 2002 AND volume = 36``) are over-filtered
+  and their plans look cheaper than they run;
+- **staleness is bounded** — distributions come from the last ANALYZE
+  snapshot, but base cardinality is always the live row count, so a
+  growing table degrades estimate *detail*, never its scale;
+- **costs are abstract units** (rows touched plus per-structure
+  constants), meaningful only relative to each other — the planner
+  compares alternatives, it never predicts wall-clock time.
+
+When an estimate misleads the planner, the damage is a slower plan,
+never a wrong result; the slow-query log (``repro.obs``) records the
+chosen access path precisely so such plans can be spotted and the
+descriptor query or its indexes tuned.
 """
 
 from __future__ import annotations

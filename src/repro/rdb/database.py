@@ -30,6 +30,8 @@ from repro.rdb.sqlparser import (
     Update,
     parse_sql,
 )
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import current_span
 from repro.rdb.statistics import TableStatistics, collect_statistics
 from repro.rdb.storage import TableStore
 from repro.util.concurrency import AtomicCounters, ReadWriteLock
@@ -103,6 +105,58 @@ class Database:
         #: locks) is what worker threads overlap, the way real threads
         #: overlap JDBC waits.  Benchmarks set it; it defaults to off.
         self.io_delay: float = 0.0
+        #: statements over the threshold land here with their chosen
+        #: access path; always present, cheap until something is slow
+        self.slow_log = SlowQueryLog()
+        #: the application's Observability root, bound by the runtime
+        #: context; None keeps every metrics site a no-op
+        self.obs = None
+        self._stmt_histogram = None
+
+    def bind_observability(self, obs) -> None:
+        """Attach the application's metrics registry (the statement
+        histogram is cached here so the hot path never consults the
+        registry dictionary)."""
+        self.obs = obs
+        self._stmt_histogram = obs.metrics.histogram("rdb.statement_seconds")
+
+    def observability_stats(self) -> dict:
+        """Statement counters plus slow-log summary for ``/_status``."""
+        return {
+            "selects": self.stats.selects,
+            "inserts": self.stats.inserts,
+            "updates": self.stats.updates,
+            "deletes": self.stats.deletes,
+            "rows_read": self.stats.rows_read,
+            "plan_cache_size": len(self._plan_cache),
+            "slow_queries": self.slow_log.stats(),
+        }
+
+    def _observe_statement(self, kind: str, started: float, sql: str,
+                           plan: SelectPlan | None = None,
+                           rows: int | None = None) -> None:
+        """Per-statement observability: histogram, trace span, slow log.
+
+        Costs two clock reads plus one early-out comparison when no
+        trace is active and the statement was fast."""
+        duration = time.perf_counter() - started
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            self._stmt_histogram.record(duration)
+        parent = current_span()
+        slow = duration >= self.slow_log.threshold_seconds
+        if parent is None and not slow:
+            return
+        access = plan.access_summary() if plan is not None else None
+        if parent is not None:
+            tags: dict = {"kind": kind}
+            if access is not None:
+                tags["access"] = access
+            if rows is not None:
+                tags["rows"] = rows
+            parent.attach(f"rdb.{kind}", "rdb", started, duration, tags)
+        if slow:
+            self.slow_log.observe(sql, duration, access=access)
 
     # -- per-thread execution state ---------------------------------------------
 
@@ -246,36 +300,42 @@ class Database:
         Returns a :class:`ResultSet` for SELECT, the affected row count
         for DML, and ``None`` for DDL.
         """
-        if self.io_delay:
-            time.sleep(self.io_delay)  # the wire, not the engine: no lock held
         statement = parse_sql(sql) if isinstance(sql, str) else sql
         if isinstance(statement, Select):
             return self._execute_select(
                 statement, sql if isinstance(sql, str) else None, params
             )
-        with self._rwlock.write_locked():
-            if isinstance(statement, Insert):
-                return self._execute_insert(statement, params or {})
-            if isinstance(statement, Update):
-                return self._execute_update(statement, params or {})
-            if isinstance(statement, Delete):
-                return self._execute_delete(statement, params or {})
-            if isinstance(statement, CreateTable):
-                self.create_table(statement.schema)
-                self.stats.ddl += 1
-                return None
-            if isinstance(statement, CreateIndex):
-                self.table(statement.table).add_index(statement.index)
-                self.stats.ddl += 1
-                self._invalidate_plans({statement.table})
-                return None
-            if isinstance(statement, DropTable):
-                self.drop_table(statement.table, statement.if_exists)
-                self.stats.ddl += 1
-                return None
-            if isinstance(statement, Analyze):
-                self._analyze_locked(statement.table)
-                return None
+        kind = type(statement).__name__.lower()
+        sql_text = sql if isinstance(sql, str) else kind
+        started = time.perf_counter()  # spans include the simulated wire
+        if self.io_delay:
+            time.sleep(self.io_delay)  # the wire, not the engine: no lock held
+        try:
+            with self._rwlock.write_locked():
+                if isinstance(statement, Insert):
+                    return self._execute_insert(statement, params or {})
+                if isinstance(statement, Update):
+                    return self._execute_update(statement, params or {})
+                if isinstance(statement, Delete):
+                    return self._execute_delete(statement, params or {})
+                if isinstance(statement, CreateTable):
+                    self.create_table(statement.schema)
+                    self.stats.ddl += 1
+                    return None
+                if isinstance(statement, CreateIndex):
+                    self.table(statement.table).add_index(statement.index)
+                    self.stats.ddl += 1
+                    self._invalidate_plans({statement.table})
+                    return None
+                if isinstance(statement, DropTable):
+                    self.drop_table(statement.table, statement.if_exists)
+                    self.stats.ddl += 1
+                    return None
+                if isinstance(statement, Analyze):
+                    self._analyze_locked(statement.table)
+                    return None
+        finally:
+            self._observe_statement(kind, started, sql_text)
         raise QueryError(f"unsupported statement {statement!r}")
 
     def execute_outcome(self, sql: str | Statement,
@@ -296,11 +356,19 @@ class Database:
 
     def _execute_select(self, statement: Select, cache_key: str | None,
                         params: dict | None) -> ResultSet:
+        started = time.perf_counter()  # spans include the simulated wire
+        if self.io_delay:
+            time.sleep(self.io_delay)  # the wire, not the engine: no lock held
         with self._rwlock.read_locked():
             plan = self._plan(statement, cache_key)
             result = plan.execute(params)
         self.stats.increment("selects")
         self.stats.increment("rows_read", len(result))
+        self._observe_statement(
+            "select", started,
+            cache_key or f"<select on {','.join(sorted(plan.tables))}>",
+            plan=plan, rows=len(result),
+        )
         return result
 
     def query_statement(self, select: Select, params: dict | None = None,
@@ -309,8 +377,6 @@ class Database:
         under an explicit key (the service tier's batch loader rewrites
         descriptor queries into ``IN``-list ASTs and reuses their plans
         across requests)."""
-        if self.io_delay:
-            time.sleep(self.io_delay)  # the wire, not the engine: no lock held
         return self._execute_select(select, cache_key, params)
 
     def _plan(self, select: Select, cache_key: str | None) -> SelectPlan:

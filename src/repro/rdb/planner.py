@@ -811,6 +811,28 @@ class SelectPlan:
 
     # -- EXPLAIN ---------------------------------------------------------------
 
+    def access_summary(self) -> str:
+        """A compact rendition of the chosen access paths, for trace
+        spans and the slow-query log: one ``kind:table(columns)`` item
+        per scan, e.g. ``eq:issue(oid)+seq:paper``.  Computed once and
+        cached on the plan (plans are shared via the plan cache, so the
+        cost amortizes to nothing)."""
+        summary = getattr(self, "_access_summary", None)
+        if summary is None:
+            parts = []
+            stack = [self.root]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, ScanOp):
+                    item = f"{node.access.kind}:{node.store.schema.name}"
+                    if node.access.columns:
+                        item += f"({','.join(node.access.columns)})"
+                    parts.append(item)
+                stack.extend(node.children())
+            summary = "+".join(sorted(parts)) or "const"
+            self._access_summary = summary
+        return summary
+
     def explain(self) -> str:
         """A textual plan tree: the executor's post-processing steps
         (limit/sort/distinct/grouping) wrap the operator tree, which is

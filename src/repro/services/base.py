@@ -62,8 +62,10 @@ class RuntimeContext:
         registry: DescriptorRegistry,
         bean_cache=None,
         pool_size: int = 8,
+        obs=None,
     ):
         from repro.caching.bus import InvalidationBus
+        from repro.obs import Observability
 
         self.database = database
         self.registry = registry
@@ -71,16 +73,49 @@ class RuntimeContext:
         self.pool = ConnectionPool(database, size=pool_size)
         self.stats = RuntimeStats()
         self.custom_services: dict[str, object] = {}
+        # One Observability root per application: the data tier and the
+        # pool publish into its registry, cache levels and the runtime
+        # stats surface through snapshot-time collectors, the front
+        # controller serves it all at /_status.
+        self.obs = obs or Observability()
+        self.database.bind_observability(self.obs)
+        self.pool.bind_observability(self.obs)
+        self.obs.metrics.register_collector(
+            "rdb.database", self.database.observability_stats
+        )
+        self.obs.metrics.register_collector(
+            "services.runtime", self._runtime_stats_snapshot
+        )
         # §6's write notifications fan out to every cache level through
         # one bus; deeper tiers must be registered first (bean →
         # fragment → page) so a rebuilding request finds clean levels.
         self.invalidation_bus = InvalidationBus()
         if bean_cache is not None:
             self.invalidation_bus.register("bean", bean_cache)
+            self._register_cache_collector("bean", bean_cache)
 
     def register_cache_level(self, name: str, cache) -> None:
         """Attach another cache level (fragment, page) to the bus."""
         self.invalidation_bus.register(name, cache)
+        self._register_cache_collector(name, cache)
+
+    def _register_cache_collector(self, name: str, cache) -> None:
+        """Surface a cache level's own counters in the unified registry
+        (polled at snapshot time — the hot path pays nothing extra)."""
+        stats = getattr(cache, "stats", None)
+        if stats is not None and hasattr(stats, "to_dict"):
+            self.obs.metrics.register_collector(f"cache.{name}", stats.to_dict)
+
+    def _runtime_stats_snapshot(self) -> dict:
+        return {
+            "pages_computed": self.stats.pages_computed,
+            "units_computed": self.stats.units_computed,
+            "operations_executed": self.stats.operations_executed,
+            "queries_executed": self.stats.queries_executed,
+            "batched_queries": self.stats.batched_queries,
+            "bean_cache_hits": self.stats.bean_cache_hits,
+            "bean_cache_misses": self.stats.bean_cache_misses,
+        }
 
     def invalidate_writes(self, entities=(), roles=()) -> dict[str, int]:
         """Publish an operation's write sets to every cache level."""

@@ -18,6 +18,23 @@ The rewrite refuses anything it cannot regroup faithfully (DISTINCT,
 GROUP BY, aggregates, LIMIT/OFFSET, params used more than once); the
 caller then falls back to the per-instance loop, so batching is always
 an optimisation, never a semantics change.
+
+Invariants the rewrite preserves (preconditions checked per statement):
+
+- the batch parameter appears in exactly one ``X = :param`` equality
+  conjunct and nowhere else, so substituting the IN-list cannot change
+  any other predicate;
+- the statement has no DISTINCT, grouping, aggregates, or LIMIT/OFFSET
+  — any of those make per-parent results depend on the *set* of rows
+  fetched, which an IN-list over many parents would merge;
+- padding repeats the last key, which is harmless because duplicate
+  IN-list members match the same rows exactly once;
+- regrouping by the projected ``__parent`` column reproduces the rows
+  each per-parent query would have returned, in the same relative
+  order within a parent.
+
+Observed savings (per-parent queries avoided) are counted into the
+``services.batch.saved_queries`` metric when observability is on.
 """
 
 from __future__ import annotations
@@ -219,6 +236,7 @@ def load_grouped(ctx, sql: str, param: str, parents) -> dict | None:
     if not keys:
         return {}
     grouped: dict = {}
+    queries_run = 0
     for chunk in _chunks(keys, MAX_BATCH_SIZE):
         size = bucket_size(len(chunk))
         select = batched_select(sql, param, size)
@@ -228,8 +246,13 @@ def load_grouped(ctx, sql: str, param: str, parents) -> dict | None:
         result = ctx.query_statement(
             select, batch_params(param, chunk, size), cache_key
         )
+        queries_run += 1
         for row in result:
             grouped.setdefault(row[PARENT_COLUMN], []).append(row)
+    saved = len(keys) - queries_run
+    obs = getattr(ctx, "obs", None)
+    if saved > 0 and obs is not None and obs.enabled:
+        obs.metrics.counter("services.batch.saved_queries").inc(saved)
     return grouped
 
 

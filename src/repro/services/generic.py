@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.descriptors import OperationDescriptor, UnitDescriptor
 from repro.errors import ServiceError
+from repro.obs import span
 from repro.services.base import RuntimeContext, coerce_value
 from repro.services.beans import OperationResult, UnitBean
 from repro.services.operations import OPERATION_SERVICES
@@ -49,6 +50,11 @@ class GenericUnitService:
         self.ctx = ctx
 
     def compute(self, descriptor: UnitDescriptor, inputs: dict) -> UnitBean:
+        with span("services.unit", tier="services",
+                  unit=descriptor.name, kind=descriptor.kind):
+            return self._compute(descriptor, inputs)
+
+    def _compute(self, descriptor: UnitDescriptor, inputs: dict) -> UnitBean:
         prepared, missing = self._prepare_inputs(descriptor, inputs)
         if missing:
             # A required input was never supplied: the unit displays
@@ -71,26 +77,29 @@ class GenericUnitService:
             self.ctx.stats.increment("units_computed")
             return bean
 
-        if hasattr(cache, "get_or_compute"):
-            # Single-flight: under concurrent misses of the same key one
-            # thread computes, the rest wait and share the result.
-            bean = cache.get_or_compute(
-                cache_key, _fresh,
-                entities=descriptor.depends_on_entities,
-                roles=descriptor.depends_on_roles,
-                policy=descriptor.cache_policy,
-            )
-        else:  # duck-typed caches keep the plain get/put protocol
-            bean = cache.get(cache_key)
-            if bean is None:
-                bean = _fresh()
-                if bean is not None:
-                    cache.put(
-                        cache_key, bean,
-                        entities=descriptor.depends_on_entities,
-                        roles=descriptor.depends_on_roles,
-                        policy=descriptor.cache_policy,
-                    )
+        with span("cache.bean", tier="cache", level="bean") as probe:
+            if hasattr(cache, "get_or_compute"):
+                # Single-flight: under concurrent misses of the same key
+                # one thread computes, the rest wait and share the result.
+                bean = cache.get_or_compute(
+                    cache_key, _fresh,
+                    entities=descriptor.depends_on_entities,
+                    roles=descriptor.depends_on_roles,
+                    policy=descriptor.cache_policy,
+                )
+            else:  # duck-typed caches keep the plain get/put protocol
+                bean = cache.get(cache_key)
+                if bean is None:
+                    bean = _fresh()
+                    if bean is not None:
+                        cache.put(
+                            cache_key, bean,
+                            entities=descriptor.depends_on_entities,
+                            roles=descriptor.depends_on_roles,
+                            policy=descriptor.cache_policy,
+                        )
+            if probe is not None:
+                probe.tags["hit"] = not computed_fresh
         if computed_fresh:
             self.ctx.stats.increment("bean_cache_misses")
         else:

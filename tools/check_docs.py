@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Documentation lint, run in CI.
+
+Two checks, both cheap and dependency-free:
+
+1. **Module docstrings** — every module under ``src/repro`` must open
+   with a docstring (the repo's convention: each module states its
+   role and its invariants up top). Parsed with :mod:`ast`, so the
+   modules are never imported.
+2. **Markdown links** — every *relative* link target in the tracked
+   markdown files (``README.md``, ``DESIGN.md``, ``EXPERIMENTS.md``,
+   ``docs/*.md``) must exist on disk, so the docs cannot silently rot
+   as files move. External (``http``/``https``/``mailto``) links are
+   not fetched.
+
+Exit status 0 when clean; 1 with one line per finding otherwise.
+
+Usage: ``python tools/check_docs.py`` (from the repository root, or
+anywhere — the root is located relative to this file).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+
+#: markdown files whose relative links must resolve
+MARKDOWN_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs")
+
+#: inline markdown links: [text](target)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def missing_module_docstrings(source_root: Path) -> list[str]:
+    """Relative paths of python modules lacking a module docstring."""
+    findings = []
+    for path in sorted(source_root.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        if ast.get_docstring(tree) is None:
+            findings.append(str(path.relative_to(REPO_ROOT)))
+    return findings
+
+
+def _markdown_paths() -> list[Path]:
+    paths = []
+    for name in MARKDOWN_FILES:
+        candidate = REPO_ROOT / name
+        if candidate.is_dir():
+            paths.extend(sorted(candidate.glob("*.md")))
+        elif candidate.exists():
+            paths.append(candidate)
+    return paths
+
+
+def broken_links(markdown_paths: list[Path]) -> list[str]:
+    """``file: target`` lines for relative link targets that don't exist."""
+    findings = []
+    for doc in markdown_paths:
+        for target in _LINK.findall(doc.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            # strip an in-page anchor; the file part must still exist
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (doc.parent / file_part).resolve()
+            if not resolved.exists():
+                findings.append(
+                    f"{doc.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+    return findings
+
+
+def main() -> int:
+    problems = []
+    for path in missing_module_docstrings(SOURCE_ROOT):
+        problems.append(f"{path}: missing module docstring")
+    problems.extend(broken_links(_markdown_paths()))
+    if problems:
+        for line in problems:
+            print(line)
+        print(f"\n{len(problems)} documentation problem(s)")
+        return 1
+    print("docs check: all module docstrings present, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
