@@ -32,12 +32,16 @@ class SlowQuery:
     duration_ms: float
     access: str | None = None
     recorded_at: float = 0.0
+    #: execution mode of the plan that ran it — "compiled", "mixed" or
+    #: "interpreted" (None for non-SELECT statements)
+    mode: str | None = None
 
     def to_dict(self) -> dict:
         return {
             "sql": self.sql,
             "duration_ms": round(self.duration_ms, 3),
             "access": self.access,
+            "mode": self.mode,
             "recorded_at": self.recorded_at,
         }
 
@@ -58,7 +62,7 @@ class SlowQueryLog:
         self.recorded_total = 0
 
     def observe(self, sql: str, duration_seconds: float,
-                access: str | None = None) -> bool:
+                access: str | None = None, mode: str | None = None) -> bool:
         """Record the statement if it crossed the threshold.
 
         Returns whether it was recorded, so callers can skip computing
@@ -72,6 +76,7 @@ class SlowQueryLog:
             duration_ms=duration_seconds * 1000.0,
             access=access,
             recorded_at=time.time(),
+            mode=mode,
         )
         with self._lock:
             self._entries.append(entry)

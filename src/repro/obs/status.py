@@ -113,8 +113,9 @@ def render_status_text(status: dict) -> str:
         )
         for entry in status.get("slow_queries", []):
             access = f"  [{entry['access']}]" if entry.get("access") else ""
+            mode = f"  [{entry['mode']}]" if entry.get("mode") else ""
             lines.append(
-                f"  {entry['duration_ms']:.3f}ms  {entry['sql']}{access}"
+                f"  {entry['duration_ms']:.3f}ms  {entry['sql']}{access}{mode}"
             )
         lines.append("")
     return "\n".join(lines)

@@ -1,0 +1,771 @@
+"""Query compilation: planned ``Expr`` trees to Python callables.
+
+The executor's seed form interprets every expression by recursive
+``Expr.evaluate(scope, params)`` walks — per row, per operator.  Each
+walk pays a Python call per AST node plus a :class:`RowScope` allocation
+and a linear owner search per unqualified column.  This module removes
+that tax by translating each planned expression *once* into generated
+Python source, compiled with :func:`compile` and executed into a
+namespace of small runtime helpers; the resulting closures are cached on
+the plan (and therefore in the plan cache, whose table-scoped
+invalidation already forces recompilation after DDL/ANALYZE).
+
+Safety argument, in three rules:
+
+1. **Same primitives.**  Generated code calls the *same* helpers the
+   interpreter uses (:func:`~repro.rdb.expr.compare_values`, the scalar
+   function registry, ``_like_to_regex``, ``_as_text``) or verbatim
+   re-implementations of the evaluate bodies, raising byte-identical
+   :class:`~repro.errors.QueryError` messages, preserving SQL
+   three-valued logic, AND/OR short-circuit order, and lazy ``IN``-list
+   option evaluation.
+2. **Fallback, never failure.**  Anything the compiler cannot translate
+   faithfully (aggregates in scalar position, unknown functions, wrong
+   arity, unresolvable or ambiguous columns) raises :class:`CompileError`
+   internally and falls back to a closure over ``expr.evaluate`` — the
+   interpreter itself — so a compiled plan never behaves differently,
+   it is at worst partially interpreted ("mixed" mode).
+3. **Oracle.**  ``prepare(optimize=False)`` bypasses compilation
+   entirely, preserving the seed interpreter; the hypothesis oracle
+   test executes both modes against random schemas/queries and requires
+   identical rows and ordering.
+
+Two calling conventions are generated:
+
+- **row mode** ``fn(row, params)`` for expressions over a single table
+  binding whose row is a real dict (scan predicates, join build-side
+  prefilters and key extractors, the fused scan→filter→project
+  pipeline): columns become direct ``row['col']`` subscripts.
+- **bindings mode** ``fn(bindings, params)`` for expressions over a
+  binding map that may hold ``None`` rows (LEFT JOIN padding): each
+  referenced binding is fetched once per call and every column access
+  is guarded with ``None if row is None else row['col']``.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.rdb.executor import (
+    FilterOp,
+    HashJoinOp,
+    NestedLoopJoinOp,
+    RowScope,
+    ScanOp,
+)
+from repro.rdb.expr import (
+    _SCALAR_FUNCTIONS,
+    AggregateCall,
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    Concat,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
+    Or,
+    Param,
+    _as_text,
+    _is_number,
+    _like_to_regex,
+    compare_values,
+)
+
+
+class CompileError(Exception):
+    """Internal signal: this expression cannot be compiled faithfully.
+
+    Never escapes the module — every public entry point catches it and
+    returns an interpreter-closure fallback instead.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Runtime helpers — the vocabulary of generated code.  Each mirrors the
+# corresponding ``Expr.evaluate`` body exactly, including error text.
+# ---------------------------------------------------------------------------
+
+
+def _missing_param(name):
+    raise QueryError(f"missing query parameter {name!r}")
+
+
+def _cmp_eq(lhs, rhs):
+    sign = compare_values(lhs, rhs)
+    return None if sign is None else sign == 0
+
+
+def _cmp_ne(lhs, rhs):
+    sign = compare_values(lhs, rhs)
+    return None if sign is None else sign != 0
+
+
+def _cmp_lt(lhs, rhs):
+    sign = compare_values(lhs, rhs)
+    return None if sign is None else sign < 0
+
+
+def _cmp_le(lhs, rhs):
+    sign = compare_values(lhs, rhs)
+    return None if sign is None else sign <= 0
+
+
+def _cmp_gt(lhs, rhs):
+    sign = compare_values(lhs, rhs)
+    return None if sign is None else sign > 0
+
+
+def _cmp_ge(lhs, rhs):
+    sign = compare_values(lhs, rhs)
+    return None if sign is None else sign >= 0
+
+
+def _arith_add(lhs, rhs):
+    if lhs is None or rhs is None:
+        return None
+    if isinstance(lhs, str) and isinstance(rhs, str):
+        return lhs + rhs
+    if not (_is_number(lhs) and _is_number(rhs)):
+        raise QueryError(f"arithmetic '+' needs numbers, got {lhs!r} and {rhs!r}")
+    return lhs + rhs
+
+
+def _arith_sub(lhs, rhs):
+    if lhs is None or rhs is None:
+        return None
+    if not (_is_number(lhs) and _is_number(rhs)):
+        raise QueryError(f"arithmetic '-' needs numbers, got {lhs!r} and {rhs!r}")
+    return lhs - rhs
+
+
+def _arith_mul(lhs, rhs):
+    if lhs is None or rhs is None:
+        return None
+    if not (_is_number(lhs) and _is_number(rhs)):
+        raise QueryError(f"arithmetic '*' needs numbers, got {lhs!r} and {rhs!r}")
+    return lhs * rhs
+
+
+def _arith_div(lhs, rhs):
+    if lhs is None or rhs is None:
+        return None
+    if not (_is_number(lhs) and _is_number(rhs)):
+        raise QueryError(f"arithmetic '/' needs numbers, got {lhs!r} and {rhs!r}")
+    if rhs == 0:
+        raise QueryError("division by zero")
+    result = lhs / rhs
+    if isinstance(lhs, int) and isinstance(rhs, int) and result == int(result):
+        return int(result)
+    return result
+
+
+def _arith_mod(lhs, rhs):
+    if lhs is None or rhs is None:
+        return None
+    if not (_is_number(lhs) and _is_number(rhs)):
+        raise QueryError(f"arithmetic '%' needs numbers, got {lhs!r} and {rhs!r}")
+    if rhs == 0:
+        raise QueryError("modulo by zero")
+    return lhs % rhs
+
+
+def _concat(lhs, rhs):
+    if lhs is None or rhs is None:
+        return None
+    return _as_text(lhs) + _as_text(rhs)
+
+
+def _negate(value):
+    if value is None:
+        return None
+    if not _is_number(value):
+        raise QueryError(f"cannot negate {value!r}")
+    return -value
+
+
+def _between(value, low, high, negated):
+    low_sign = compare_values(value, low)
+    high_sign = compare_values(value, high)
+    if low_sign is None or high_sign is None:
+        return None
+    inside = low_sign >= 0 and high_sign <= 0
+    return not inside if negated else inside
+
+
+#: LIKE patterns repeat across rows and statements; the interpreter
+#: rebuilds the regex per row, compiled code caches per pattern text
+_like_regex = functools.lru_cache(maxsize=512)(_like_to_regex)
+
+
+def _like_dyn(value, pattern, negated):
+    if value is None or pattern is None:
+        return None
+    matched = _like_regex(str(pattern)).match(str(value)) is not None
+    return not matched if negated else matched
+
+
+def _like_rx(value, regex, negated):
+    """LIKE against a pattern known (and non-NULL) at compile time."""
+    if value is None:
+        return None
+    matched = regex.match(str(value)) is not None
+    return not matched if negated else matched
+
+
+def _in_list(value, options, env, params, negated):
+    """The interpreter's lazy IN-list loop over pre-compiled options."""
+    if value is None:
+        return None
+    saw_null = False
+    for option in options:
+        candidate = option(env, params)
+        if candidate is None:
+            saw_null = True
+            continue
+        if compare_values(value, candidate) == 0:
+            return not negated
+    if saw_null:
+        return None
+    return negated
+
+
+_CMP_HELPERS = {
+    "=": "_cmp_eq",
+    "<>": "_cmp_ne",
+    "<": "_cmp_lt",
+    "<=": "_cmp_le",
+    ">": "_cmp_gt",
+    ">=": "_cmp_ge",
+}
+
+_ARITH_HELPERS = {
+    "+": "_arith_add",
+    "-": "_arith_sub",
+    "*": "_arith_mul",
+    "/": "_arith_div",
+    "%": "_arith_mod",
+}
+
+#: scalar functions whose arity the interpreter does not pin to one
+_VARIADIC_FUNCTIONS = ("COALESCE", "CONCAT", "ROUND", "SUBSTR")
+
+#: shared globals of every generated function
+_RUNTIME = {
+    "_missing_param": _missing_param,
+    "_cmp_eq": _cmp_eq,
+    "_cmp_ne": _cmp_ne,
+    "_cmp_lt": _cmp_lt,
+    "_cmp_le": _cmp_le,
+    "_cmp_gt": _cmp_gt,
+    "_cmp_ge": _cmp_ge,
+    "_arith_add": _arith_add,
+    "_arith_sub": _arith_sub,
+    "_arith_mul": _arith_mul,
+    "_arith_div": _arith_div,
+    "_arith_mod": _arith_mod,
+    "_concat": _concat,
+    "_negate": _negate,
+    "_between": _between,
+    "_like_dyn": _like_dyn,
+    "_like_rx": _like_rx,
+    "_in_list": _in_list,
+}
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+
+class _Codegen:
+    """Statement-oriented emitter for one generated function.
+
+    Expressions compile to *atoms* (local variable names, inline
+    constants, or ``row['col']`` subscripts); anything with control flow
+    or a helper call is emitted as statements assigning a fresh local.
+    Statement order preserves the interpreter's evaluation order, so a
+    compiled expression raises exactly when the interpreter would.
+    """
+
+    def __init__(self, columns_by_binding: dict, mode: str):
+        self.columns = columns_by_binding
+        self.mode = mode  # "row" | "bindings"
+        self.ns: dict = {}
+        self.lines: list[str] = []
+        #: binding-row fetches hoisted to the top of the function
+        self.preamble: list[str] = []
+        self.indent = 1
+        self._counter = 0
+        self._row_vars: dict[str, str] = {}
+
+    def fresh(self, prefix: str = "v") -> str:
+        self._counter += 1
+        return f"_{prefix}{self._counter}"
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def checkpoint(self) -> tuple[int, int]:
+        return len(self.lines), self.indent
+
+    def rollback(self, mark: tuple[int, int]) -> None:
+        del self.lines[mark[0]:]
+        self.indent = mark[1]
+
+    def const(self, value) -> str:
+        """An atom for a Python constant, inlined when its repr
+        round-trips (ints, finite floats, strs, bools, None)."""
+        if value is None or value is True or value is False:
+            return repr(value)
+        if isinstance(value, (int, str)) and not isinstance(value, bool):
+            return repr(value)
+        if isinstance(value, float) and math.isfinite(value):
+            return repr(value)
+        name = self.fresh("c")
+        self.ns[name] = value
+        return name
+
+    def as_local(self, atom: str) -> str:
+        """Pin an atom to a local so it can be referenced repeatedly."""
+        if atom.isidentifier():
+            return atom
+        out = self.fresh()
+        self.emit(f"{out} = {atom}")
+        return out
+
+    # -- column resolution --------------------------------------------------
+
+    def resolve(self, ref: ColumnRef) -> str:
+        """The binding owning ``ref``; mirrors :meth:`RowScope.lookup`'s
+        static resolution, failing compilation where lookup would raise."""
+        if ref.table is not None:
+            columns = self.columns.get(ref.table)
+            if columns is None or ref.column not in columns:
+                raise CompileError(f"unresolvable column {ref.display!r}")
+            return ref.table
+        owners = [
+            binding
+            for binding, columns in self.columns.items()
+            if ref.column in columns
+        ]
+        if len(owners) != 1:
+            raise CompileError(f"unresolvable column {ref.column!r}")
+        return owners[0]
+
+    def _row_var(self, binding: str) -> str:
+        var = self._row_vars.get(binding)
+        if var is None:
+            var = f"_row{len(self._row_vars)}"
+            self._row_vars[binding] = var
+            self.preamble.append(f"    {var} = _env.get({binding!r})")
+        return var
+
+    def column_atom(self, ref: ColumnRef) -> str:
+        binding = self.resolve(ref)
+        if self.mode == "row":
+            return f"_env[{ref.column!r}]"
+        var = self._row_var(binding)
+        out = self.fresh()
+        self.emit(f"{out} = None if {var} is None else {var}[{ref.column!r}]")
+        return out
+
+    # -- expression dispatch ------------------------------------------------
+
+    def compile(self, node: Expr) -> str:
+        if isinstance(node, Literal):
+            return self.const(node.value)
+        if isinstance(node, ColumnRef):
+            return self.column_atom(node)
+        if isinstance(node, Param):
+            out = self.fresh()
+            name = node.name
+            self.emit(
+                f"{out} = _p[{name!r}] if {name!r} in _p "
+                f"else _missing_param({name!r})"
+            )
+            return out
+        if isinstance(node, Comparison):
+            helper = _CMP_HELPERS.get(node.op)
+            if helper is None:
+                raise CompileError(f"unknown comparison operator {node.op!r}")
+            lhs = self.compile(node.left)
+            rhs = self.compile(node.right)
+            out = self.fresh()
+            self.emit(f"{out} = {helper}({lhs}, {rhs})")
+            return out
+        if isinstance(node, Arithmetic):
+            helper = _ARITH_HELPERS.get(node.op)
+            if helper is None:
+                raise CompileError(f"unknown arithmetic operator {node.op!r}")
+            lhs = self.compile(node.left)
+            rhs = self.compile(node.right)
+            out = self.fresh()
+            self.emit(f"{out} = {helper}({lhs}, {rhs})")
+            return out
+        if isinstance(node, Concat):
+            lhs = self.compile(node.left)
+            rhs = self.compile(node.right)
+            out = self.fresh()
+            self.emit(f"{out} = _concat({lhs}, {rhs})")
+            return out
+        if isinstance(node, And):
+            return self._compile_and_or(node, short_value=False)
+        if isinstance(node, Or):
+            return self._compile_and_or(node, short_value=True)
+        if isinstance(node, Not):
+            value = self.as_local(self.compile(node.operand))
+            out = self.fresh()
+            self.emit(f"{out} = None if {value} is None else (not {value})")
+            return out
+        if isinstance(node, Negate):
+            value = self.compile(node.operand)
+            out = self.fresh()
+            self.emit(f"{out} = _negate({value})")
+            return out
+        if isinstance(node, IsNull):
+            value = self.compile(node.operand)
+            out = self.fresh()
+            test = "is not None" if node.negated else "is None"
+            self.emit(f"{out} = {value} {test}")
+            return out
+        if isinstance(node, InList):
+            return self._compile_in_list(node)
+        if isinstance(node, Like):
+            return self._compile_like(node)
+        if isinstance(node, Between):
+            value = self.compile(node.operand)
+            low = self.compile(node.low)
+            high = self.compile(node.high)
+            out = self.fresh()
+            self.emit(
+                f"{out} = _between({value}, {low}, {high}, {node.negated!r})"
+            )
+            return out
+        if isinstance(node, FunctionCall):
+            return self._compile_function(node)
+        if isinstance(node, AggregateCall):
+            raise CompileError("aggregate in scalar position")
+        raise CompileError(f"unsupported expression node {type(node).__name__}")
+
+    def _compile_and_or(self, node, short_value: bool) -> str:
+        """AND/OR with the interpreter's 3VL short-circuit: the right
+        operand is not evaluated when the left already decides."""
+        decided = repr(short_value)
+        out = self.fresh()
+        lhs = self.as_local(self.compile(node.left))
+        self.emit(f"if {lhs} is {decided}:")
+        self.indent += 1
+        self.emit(f"{out} = {short_value!r}")
+        self.indent -= 1
+        self.emit("else:")
+        self.indent += 1
+        rhs = self.as_local(self.compile(node.right))
+        self.emit(f"if {rhs} is {decided}:")
+        self.indent += 1
+        self.emit(f"{out} = {short_value!r}")
+        self.indent -= 1
+        self.emit(f"elif {lhs} is None or {rhs} is None:")
+        self.indent += 1
+        self.emit(f"{out} = None")
+        self.indent -= 1
+        self.emit("else:")
+        self.indent += 1
+        self.emit(f"{out} = {(not short_value)!r}")
+        self.indent -= 2
+        return out
+
+    def _compile_in_list(self, node: InList) -> str:
+        value = self.compile(node.operand)
+        options = tuple(
+            _compile_subfunction(option, self.columns, self.mode)
+            for option in node.options
+        )
+        name = self.fresh("opts")
+        self.ns[name] = options
+        out = self.fresh()
+        self.emit(
+            f"{out} = _in_list({value}, {name}, _env, _p, {node.negated!r})"
+        )
+        return out
+
+    def _compile_like(self, node: Like) -> str:
+        value = self.compile(node.operand)
+        out = self.fresh()
+        if isinstance(node.pattern, Literal) and node.pattern.value is not None:
+            name = self.fresh("rx")
+            self.ns[name] = _like_to_regex(str(node.pattern.value))
+            self.emit(f"{out} = _like_rx({value}, {name}, {node.negated!r})")
+            return out
+        pattern = self.compile(node.pattern)
+        self.emit(f"{out} = _like_dyn({value}, {pattern}, {node.negated!r})")
+        return out
+
+    def _compile_function(self, node: FunctionCall) -> str:
+        func = _SCALAR_FUNCTIONS.get(node.name.upper())
+        if func is None:
+            raise CompileError(f"unknown function {node.name!r}")
+        if node.name.upper() not in _VARIADIC_FUNCTIONS and len(node.args) != 1:
+            raise CompileError(f"{node.name} arity")
+        args = [self.compile(arg) for arg in node.args]
+        name = self.fresh("fn")
+        self.ns[name] = func
+        out = self.fresh()
+        self.emit(f"{out} = {name}([{', '.join(args)}])")
+        return out
+
+
+def _assemble(cg: _Codegen, label: str):
+    """exec() the collected statements into a callable."""
+    body = cg.preamble + cg.lines
+    source = "def _compiled(_env, _p):\n" + "\n".join(body)
+    namespace = dict(_RUNTIME)
+    namespace.update(cg.ns)
+    code = compile(source, f"<rdb-compiled:{label}>", "exec")
+    exec(code, namespace)  # noqa: S102 - trusted, self-generated source
+    return namespace["_compiled"], source
+
+
+def _compile_subfunction(expr: Expr, columns: dict, mode: str):
+    """A standalone compiled callable for one sub-expression (IN-list
+    options, which the interpreter evaluates lazily per row)."""
+    cg = _Codegen(columns, mode)
+    result = cg.compile(expr)
+    cg.emit(f"return {result}")
+    fn, _ = _assemble(cg, "in-option")
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CompiledExpr:
+    """A callable form of one expression.
+
+    ``fn(env, params)`` where ``env`` is a row dict (row mode) or a
+    binding map (bindings mode).  ``compiled`` is False when the
+    callable is an interpreter fallback; ``source`` carries the
+    generated text for debugging (None for fallbacks).
+    """
+
+    fn: object
+    compiled: bool
+    source: str | None = None
+
+
+def _interpreter_fallback(expr: Expr, columns: dict, mode: str):
+    if mode == "row":
+        (binding,) = columns.keys()
+
+        def fallback(env, params, _expr=expr, _columns=columns, _b=binding):
+            return _expr.evaluate(RowScope({_b: env}, _columns), params)
+    else:
+
+        def fallback(env, params, _expr=expr, _columns=columns):
+            return _expr.evaluate(RowScope(env, _columns), params)
+
+    return fallback
+
+
+def compile_scalar(
+    expr: Expr, columns: dict, mode: str = "bindings", label: str = "expr"
+) -> CompiledExpr:
+    """Compile one expression to ``fn(env, params)``; interpreter
+    fallback on any :class:`CompileError`."""
+    try:
+        cg = _Codegen(columns, mode)
+        result = cg.compile(expr)
+        cg.emit(f"return {result}")
+        fn, source = _assemble(cg, label)
+        return CompiledExpr(fn, True, source)
+    except CompileError:
+        return CompiledExpr(_interpreter_fallback(expr, columns, mode), False)
+
+
+def compile_tuple(
+    exprs, columns: dict, mode: str = "bindings", label: str = "tuple"
+) -> CompiledExpr:
+    """Compile ``fn(env, params) -> tuple`` over several expressions
+    (hash-join probe keys, GROUP BY keys)."""
+    exprs = tuple(exprs)
+    try:
+        cg = _Codegen(columns, mode)
+        atoms = [cg.compile(expr) for expr in exprs]
+        trailing = "," if len(atoms) == 1 else ""
+        cg.emit(f"return ({', '.join(atoms)}{trailing})")
+        fn, source = _assemble(cg, label)
+        return CompiledExpr(fn, True, source)
+    except CompileError:
+        def fallback(env, params, _exprs=exprs, _columns=columns):
+            scope = RowScope(env, _columns)
+            return tuple(expr.evaluate(scope, params) for expr in _exprs)
+
+        return CompiledExpr(fallback, False)
+
+
+def compile_row_key(columns: tuple):
+    """``fn(row) -> tuple`` over plain column names — the hash-join
+    build-side key extractor.  Always compilable."""
+    atoms = ", ".join(f"_env[{column!r}]" for column in columns)
+    trailing = "," if len(columns) == 1 else ""
+    source = f"def _compiled(_env):\n    return ({atoms}{trailing})"
+    namespace: dict = {}
+    exec(compile(source, "<rdb-compiled:build-key>", "exec"), namespace)
+    return namespace["_compiled"]
+
+
+def compile_emit(
+    projection,
+    order_by,
+    output_columns,
+    columns: dict,
+    mode: str = "bindings",
+) -> CompiledExpr | None:
+    """Compile the plan's per-row tail — project + order keys — into one
+    ``fn(env, params) -> (out_row, order_keys)`` call.
+
+    Replicates ``_order_keys``'s alias fallback at compile time: an
+    ORDER BY column that does not resolve in scope but names an output
+    column reads the projected row instead.  Returns ``None`` when any
+    part resists compilation; the caller keeps the interpreted tail
+    (all-or-nothing, so a plan's emit path is never half compiled).
+    """
+    try:
+        cg = _Codegen(columns, mode)
+        items: list[tuple[str, str]] = []
+        for name, expr, star_source in projection:
+            if star_source is not None:
+                binding, column = star_source
+                if binding not in columns or column not in columns[binding]:
+                    raise CompileError(f"unresolvable star column {column!r}")
+                if mode == "row":
+                    items.append((name, f"_env[{column!r}]"))
+                else:
+                    var = cg._row_var(binding)
+                    out = cg.fresh()
+                    cg.emit(
+                        f"{out} = None if {var} is None else {var}[{column!r}]"
+                    )
+                    items.append((name, out))
+            else:
+                items.append((name, cg.compile(expr)))
+        pairs = ", ".join(f"{name!r}: {atom}" for name, atom in items)
+        cg.emit(f"_out = {{{pairs}}}")
+        keys: list[str] = []
+        for item in order_by:
+            expr = item.expr
+            mark = cg.checkpoint()
+            try:
+                keys.append(cg.as_local(cg.compile(expr)))
+            except CompileError:
+                cg.rollback(mark)
+                if (
+                    isinstance(expr, ColumnRef)
+                    and expr.table is None
+                    and expr.column in output_columns
+                ):
+                    keys.append(f"_out[{expr.column!r}]")
+                else:
+                    raise
+        cg.emit(f"return (_out, [{', '.join(keys)}])")
+        fn, source = _assemble(cg, "emit")
+        return CompiledExpr(fn, True, source)
+    except CompileError:
+        return None
+
+
+def compile_plan(plan) -> dict:
+    """Attach compiled forms to a plan's operators and emit path.
+
+    Walks the operator tree, compiling scan/filter predicates, join
+    probe keys, build-key extractors, prefilters and residuals; then the
+    plan-level tail (fused row-mode emit for single-scan plans, generic
+    bindings-mode emit otherwise) or, for grouped queries, the GROUP BY
+    key and aggregate-argument extractors.  Returns
+    ``{"compiled": n, "interpreted": m}`` counting translation units;
+    ``m > 0`` means the plan runs in "mixed" mode.
+    """
+    stats = {"compiled": 0, "interpreted": 0}
+
+    def note(compiled_expr: CompiledExpr):
+        stats["compiled" if compiled_expr.compiled else "interpreted"] += 1
+        return compiled_expr.fn
+
+    columns = plan.columns_by_binding
+    stack = [plan.root]
+    while stack:
+        op = stack.pop()
+        stack.extend(op.children())
+        if isinstance(op, ScanOp):
+            if op.predicate is not None:
+                op.compiled_predicate = note(compile_scalar(
+                    op.predicate, op._scope_columns, "row", "scan-predicate"
+                ))
+        elif isinstance(op, FilterOp):
+            op.compiled_predicate = note(compile_scalar(
+                op.predicate, op.columns_by_binding, "bindings", "filter"
+            ))
+        elif isinstance(op, HashJoinOp):
+            op.compiled_probe = note(compile_tuple(
+                op.probe_exprs, op.columns_by_binding, "bindings", "probe-key"
+            ))
+            op.compiled_build_key = compile_row_key(op.build_columns)
+            if op.prefilter is not None:
+                op.compiled_prefilter = note(compile_scalar(
+                    op.prefilter, op._own_columns, "row", "prefilter"
+                ))
+            if op.residual is not None:
+                op.compiled_residual = note(compile_scalar(
+                    op.residual, op.columns_by_binding, "bindings", "residual"
+                ))
+        elif isinstance(op, NestedLoopJoinOp):
+            op.compiled_condition = note(compile_scalar(
+                op.condition, op.columns_by_binding, "bindings", "join-on"
+            ))
+            if op.prefilter is not None:
+                op.compiled_prefilter = note(compile_scalar(
+                    op.prefilter, op._own_columns, "row", "prefilter"
+                ))
+
+    select = plan.select
+    if plan.grouped:
+        if select.group_by:
+            plan.compiled_group_key = note(compile_tuple(
+                select.group_by, columns, "bindings", "group-key"
+            ))
+        for call in plan._wanted_aggregates:
+            if call.argument is not None and call not in plan.compiled_agg_args:
+                plan.compiled_agg_args[call] = note(compile_scalar(
+                    call.argument, columns, "bindings", "aggregate-argument"
+                ))
+    elif isinstance(plan.root, ScanOp):
+        emit = compile_emit(
+            plan._projection, select.order_by, plan.output_columns,
+            plan.root._scope_columns, "row",
+        )
+        if emit is not None:
+            plan.compiled_row_emit = note(emit)
+        else:
+            stats["interpreted"] += 1
+    else:
+        emit = compile_emit(
+            plan._projection, select.order_by, plan.output_columns,
+            columns, "bindings",
+        )
+        if emit is not None:
+            plan.compiled_emit = note(emit)
+        else:
+            stats["interpreted"] += 1
+    return stats

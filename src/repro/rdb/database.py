@@ -46,6 +46,11 @@ class DatabaseStats(AtomicCounters):
     database's write lock."""
 
     selects: int = 0
+    #: selects served by a compiled (or mixed) plan vs the interpreter
+    selects_compiled: int = 0
+    selects_interpreted: int = 0
+    #: selects whose SQL text hit the plan cache before parsing
+    prepared_reuse: int = 0
     inserts: int = 0
     updates: int = 0
     deletes: int = 0
@@ -56,6 +61,9 @@ class DatabaseStats(AtomicCounters):
 
     def reset(self) -> None:
         self.selects = 0
+        self.selects_compiled = 0
+        self.selects_interpreted = 0
+        self.prepared_reuse = 0
         self.inserts = 0
         self.updates = 0
         self.deletes = 0
@@ -112,6 +120,17 @@ class Database:
         #: context; None keeps every metrics site a no-op
         self.obs = None
         self._stmt_histogram = None
+        self._compile_histogram = None
+        #: query-compilation accounting (repro.rdb.compile): plans by
+        #: mode, interpreter fallbacks inside compiled plans, and total
+        #: time spent generating code.  Written under no lock — same
+        #: tolerance as every other observability counter.
+        self._compile_stats = {
+            "plans_compiled": 0,
+            "plans_interpreted": 0,
+            "expr_fallbacks": 0,
+            "compile_seconds_total": 0.0,
+        }
 
     def bind_observability(self, obs) -> None:
         """Attach the application's metrics registry (the statement
@@ -119,18 +138,45 @@ class Database:
         registry dictionary)."""
         self.obs = obs
         self._stmt_histogram = obs.metrics.histogram("rdb.statement_seconds")
+        self._compile_histogram = obs.metrics.histogram("rdb.compile_seconds")
 
     def observability_stats(self) -> dict:
         """Statement counters plus slow-log summary for ``/_status``."""
+        compile_stats = self._compile_stats
         return {
             "selects": self.stats.selects,
+            "selects_compiled": self.stats.selects_compiled,
+            "selects_interpreted": self.stats.selects_interpreted,
+            "prepared_reuse": self.stats.prepared_reuse,
             "inserts": self.stats.inserts,
             "updates": self.stats.updates,
             "deletes": self.stats.deletes,
             "rows_read": self.stats.rows_read,
             "plan_cache_size": len(self._plan_cache),
+            "plans_compiled": compile_stats["plans_compiled"],
+            "plans_interpreted": compile_stats["plans_interpreted"],
+            "compile_fallback_exprs": compile_stats["expr_fallbacks"],
+            "compile_ms_total": round(
+                compile_stats["compile_seconds_total"] * 1000.0, 3
+            ),
             "slow_queries": self.slow_log.stats(),
         }
+
+    def _note_plan_built(self, plan: SelectPlan) -> SelectPlan:
+        """Record one plan construction in the compile accounting."""
+        stats = self._compile_stats
+        if plan.exec_mode == "interpreted":
+            stats["plans_interpreted"] += 1
+        else:
+            stats["plans_compiled"] += 1
+            stats["compile_seconds_total"] += plan.compile_seconds
+            if plan.compile_stats is not None:
+                stats["expr_fallbacks"] += plan.compile_stats["interpreted"]
+            if self._compile_histogram is not None:
+                obs = self.obs
+                if obs is not None and obs.enabled:
+                    self._compile_histogram.record(plan.compile_seconds)
+        return plan
 
     def _observe_statement(self, kind: str, started: float, sql: str,
                            plan: SelectPlan | None = None,
@@ -148,15 +194,18 @@ class Database:
         if parent is None and not slow:
             return
         access = plan.access_summary() if plan is not None else None
+        mode = plan.exec_mode if plan is not None else None
         if parent is not None:
             tags: dict = {"kind": kind}
             if access is not None:
                 tags["access"] = access
+            if mode is not None:
+                tags["mode"] = mode
             if rows is not None:
                 tags["rows"] = rows
             parent.attach(f"rdb.{kind}", "rdb", started, duration, tags)
         if slow:
-            self.slow_log.observe(sql, duration, access=access)
+            self.slow_log.observe(sql, duration, access=access, mode=mode)
 
     # -- per-thread execution state ---------------------------------------------
 
@@ -299,7 +348,18 @@ class Database:
 
         Returns a :class:`ResultSet` for SELECT, the affected row count
         for DML, and ``None`` for DDL.
+
+        Prepared-statement reuse: SQL text already in the plan cache is
+        known to be a SELECT with a ready (compiled) plan, so the parse
+        is skipped entirely — repeated unit-descriptor queries pay one
+        dict probe before execution.
         """
+        if isinstance(sql, str):
+            with self._plan_lock:
+                reusable = sql in self._plan_cache
+            if reusable:
+                self.stats.increment("prepared_reuse")
+                return self._execute_select(None, sql, params)
         statement = parse_sql(sql) if isinstance(sql, str) else sql
         if isinstance(statement, Select):
             return self._execute_select(
@@ -354,8 +414,14 @@ class Database:
             raise QueryError(f"expected a SELECT: {sql!r}")
         return result
 
-    def _execute_select(self, statement: Select, cache_key: str | None,
+    def _execute_select(self, statement: Select | None, cache_key: str | None,
                         params: dict | None) -> ResultSet:
+        """Execute a SELECT.  ``statement`` may be ``None`` when
+        ``cache_key`` is the raw SQL text (the prepared-statement fast
+        path); a cache miss — e.g. the plan was invalidated between the
+        caller's probe and here — re-parses the text under the read
+        lock, so a stale hint can cost a parse but never a wrong or
+        poisoned plan."""
         started = time.perf_counter()  # spans include the simulated wire
         if self.io_delay:
             time.sleep(self.io_delay)  # the wire, not the engine: no lock held
@@ -363,6 +429,10 @@ class Database:
             plan = self._plan(statement, cache_key)
             result = plan.execute(params)
         self.stats.increment("selects")
+        self.stats.increment(
+            "selects_interpreted" if plan.exec_mode == "interpreted"
+            else "selects_compiled"
+        )
         self.stats.increment("rows_read", len(result))
         self._observe_statement(
             "select", started,
@@ -379,13 +449,20 @@ class Database:
         across requests)."""
         return self._execute_select(select, cache_key, params)
 
-    def _plan(self, select: Select, cache_key: str | None) -> SelectPlan:
+    def _plan(self, select: Select | None, cache_key: str | None) -> SelectPlan:
         if cache_key is not None:
             with self._plan_lock:
                 cached = self._plan_cache.get(cache_key)
             if cached is not None:
                 return cached
-        plan = SelectPlan(select, self.tables)
+        if select is None:
+            # Fast-path cache miss: the caller skipped parsing on the
+            # strength of a cache probe that has since been invalidated.
+            statement = parse_sql(cache_key)
+            if not isinstance(statement, Select):
+                raise QueryError(f"expected a SELECT: {cache_key!r}")
+            select = statement
+        plan = self._note_plan_built(SelectPlan(select, self.tables))
         if cache_key is not None:
             with self._plan_lock:
                 # Concurrent planners of the same statement: first in wins,
@@ -415,16 +492,26 @@ class Database:
         annotated with estimated rows/cost per operator."""
         return self.prepare(sql).explain()
 
-    def prepare(self, sql: str, optimize: bool = True) -> SelectPlan:
+    def prepare(self, sql: str, optimize: bool = True,
+                compiled: bool | None = None) -> SelectPlan:
         """Compile a SELECT once for repeated execution (generic
         services).  ``optimize=False`` builds the naive seed plan — full
-        scans, declared join order — bypassing the plan cache; E14 uses
-        it as the before/after baseline."""
+        scans, declared join order, interpreted evaluation — bypassing
+        the plan cache; E14 uses it as the before/after baseline.
+        ``compiled=False`` builds the *optimized* plan but keeps
+        expression evaluation interpreted (also uncached) — E17's
+        apples-to-apples baseline for the compilation layer alone."""
         statement = parse_sql(sql)
         if not isinstance(statement, Select):
             raise QueryError(f"prepare() only accepts SELECT: {sql!r}")
         if not optimize:
-            return SelectPlan(statement, self.tables, optimize=False)
+            return self._note_plan_built(
+                SelectPlan(statement, self.tables, optimize=False)
+            )
+        if compiled is False:
+            return self._note_plan_built(
+                SelectPlan(statement, self.tables, compiled=False)
+            )
         return self._plan(statement, sql)
 
     # -- statistics -----------------------------------------------------------

@@ -121,7 +121,15 @@ class ScanOp(Operator):
     segments include trailing NULLs, bisection is estimate-free); the
     pushed ``predicate`` re-check is what keeps every path honest, and
     a ``None`` answer from the index degrades to a heap walk.
+
+    ``compiled_predicate``, when the plan was compiled, is a row-mode
+    ``fn(row, params)`` form of ``predicate`` (see
+    :mod:`repro.rdb.compile`); the scan then skips the per-row
+    :class:`RowScope` allocation entirely.
     """
+
+    #: row-mode compiled form of ``predicate`` (set by compile_plan)
+    compiled_predicate = None
 
     def __init__(
         self,
@@ -193,26 +201,48 @@ class ScanOp(Operator):
             matches |= found
         return matches
 
-    def rows(self, params: dict) -> Iterator[Bindings]:
+    def matching_rows(self, params: dict) -> Iterator[dict]:
+        """The scan's raw row dicts (no binding map) — the substrate of
+        both :meth:`rows` and the plan-level fused pipeline."""
         row_ids = self._candidate_row_ids(params)
         if row_ids is None:
             # Iterate over a snapshot of ids so DML during iteration is safe.
             candidates = list(self.store.rows)
         else:
             candidates = sorted(row_ids)
+        lookup = self.store.rows
+        predicate = self.predicate
+        if predicate is None:
+            for row_id in candidates:
+                row = lookup.get(row_id)
+                if row is not None:
+                    yield row
+            return
+        compiled = self.compiled_predicate
+        if compiled is not None:
+            for row_id in candidates:
+                row = lookup.get(row_id)
+                if row is not None and compiled(row, params) is True:
+                    yield row
+            return
         for row_id in candidates:
-            row = self.store.rows.get(row_id)
+            row = lookup.get(row_id)
             if row is None:
                 continue
-            bindings = {self.binding: row}
-            if self.predicate is not None:
-                scope = RowScope(bindings, self._scope_columns)
-                if self.predicate.evaluate(scope, params) is not True:
-                    continue
-            yield bindings
+            scope = RowScope({self.binding: row}, self._scope_columns)
+            if predicate.evaluate(scope, params) is True:
+                yield row
+
+    def rows(self, params: dict) -> Iterator[Bindings]:
+        binding = self.binding
+        for row in self.matching_rows(params):
+            yield {binding: row}
 
 
 class FilterOp(Operator):
+    #: bindings-mode compiled form of ``predicate`` (set by compile_plan)
+    compiled_predicate = None
+
     def __init__(self, child: Operator, predicate: Expr,
                  columns_by_binding: dict[str, list[str]]):
         self.child = child
@@ -226,6 +256,12 @@ class FilterOp(Operator):
         return [self.child]
 
     def rows(self, params: dict) -> Iterator[Bindings]:
+        compiled = self.compiled_predicate
+        if compiled is not None:
+            for bindings in self.child.rows(params):
+                if compiled(bindings, params) is True:
+                    yield bindings
+            return
         for bindings in self.child.rows(params):
             scope = RowScope(bindings, self.columns_by_binding)
             if self.predicate.evaluate(scope, params) is True:
@@ -236,6 +272,11 @@ class NestedLoopJoinOp(Operator):
     """Fallback join for non-equi ON conditions.  A ``prefilter`` (the
     planner-pushed conjuncts local to the new table) shrinks the inner
     relation once per execution instead of once per outer row."""
+
+    #: compiled forms (set by compile_plan): row-mode prefilter,
+    #: bindings-mode join condition
+    compiled_prefilter = None
+    compiled_condition = None
 
     def __init__(
         self,
@@ -268,6 +309,12 @@ class NestedLoopJoinOp(Operator):
         if self.prefilter is None:
             return rows
         kept = []
+        compiled = self.compiled_prefilter
+        if compiled is not None:
+            for row in rows:
+                if compiled(row, params) is True:
+                    kept.append(row)
+            return kept
         for row in rows:
             scope = RowScope({self.binding: row}, self._own_columns)
             if self.prefilter.evaluate(scope, params) is True:
@@ -276,13 +323,18 @@ class NestedLoopJoinOp(Operator):
 
     def rows(self, params: dict) -> Iterator[Bindings]:
         right_rows = self._inner_rows(params)
+        condition = self.compiled_condition
         for bindings in self.left.rows(params):
             matched = False
             for row in right_rows:
                 candidate = dict(bindings)
                 candidate[self.binding] = row
-                scope = RowScope(candidate, self.columns_by_binding)
-                if self.condition.evaluate(scope, params) is True:
+                if condition is not None:
+                    verdict = condition(candidate, params)
+                else:
+                    scope = RowScope(candidate, self.columns_by_binding)
+                    verdict = self.condition.evaluate(scope, params)
+                if verdict is True:
                     matched = True
                     yield candidate
             if not matched and self.kind == "left":
@@ -295,6 +347,13 @@ class HashJoinOp(Operator):
     """Equi-join: build a hash table on the new table's key columns and
     probe with each incoming binding map.  ``residual`` carries any extra
     non-equi conjuncts of the ON condition."""
+
+    #: compiled forms (set by compile_plan): row-mode prefilter and
+    #: build-key extractor, bindings-mode probe-key tuple and residual
+    compiled_prefilter = None
+    compiled_build_key = None
+    compiled_probe = None
+    compiled_residual = None
 
     def __init__(
         self,
@@ -329,26 +388,50 @@ class HashJoinOp(Operator):
 
     def rows(self, params: dict) -> Iterator[Bindings]:
         table: dict[tuple, list[dict]] = {}
+        prefilter = self.prefilter
+        compiled_prefilter = self.compiled_prefilter
+        build_key = self.compiled_build_key
         for row in self.store.rows.values():
-            if self.prefilter is not None:
-                scope = RowScope({self.binding: row}, self._own_columns)
-                if self.prefilter.evaluate(scope, params) is not True:
-                    continue
-            key = tuple(row[c] for c in self.build_columns)
+            if prefilter is not None:
+                if compiled_prefilter is not None:
+                    if compiled_prefilter(row, params) is not True:
+                        continue
+                else:
+                    scope = RowScope({self.binding: row}, self._own_columns)
+                    if prefilter.evaluate(scope, params) is not True:
+                        continue
+            if build_key is not None:
+                key = build_key(row)
+            else:
+                key = tuple(row[c] for c in self.build_columns)
             if any(v is None for v in key):
                 continue
             table.setdefault(key, []).append(row)
+        probe = self.compiled_probe
+        residual = self.residual
+        compiled_residual = self.compiled_residual
         for bindings in self.left.rows(params):
-            scope = RowScope(bindings, self.columns_by_binding)
-            key = tuple(expr.evaluate(scope, params) for expr in self.probe_exprs)
+            if probe is not None:
+                key = probe(bindings, params)
+            else:
+                scope = RowScope(bindings, self.columns_by_binding)
+                key = tuple(
+                    expr.evaluate(scope, params) for expr in self.probe_exprs
+                )
             matched = False
             if not any(v is None for v in key):
                 for row in table.get(key, ()):
                     candidate = dict(bindings)
                     candidate[self.binding] = row
-                    if self.residual is not None:
-                        residual_scope = RowScope(candidate, self.columns_by_binding)
-                        if self.residual.evaluate(residual_scope, params) is not True:
+                    if residual is not None:
+                        if compiled_residual is not None:
+                            verdict = compiled_residual(candidate, params)
+                        else:
+                            residual_scope = RowScope(
+                                candidate, self.columns_by_binding
+                            )
+                            verdict = residual.evaluate(residual_scope, params)
+                        if verdict is not True:
                             continue
                     matched = True
                     yield candidate
@@ -420,16 +503,29 @@ def compute_aggregate(
     group: list[Bindings],
     columns_by_binding: dict[str, list[str]],
     params: dict,
+    extractor=None,
 ):
+    """Evaluate one aggregate over a group of binding maps.
+
+    ``extractor``, when given, is the compiled bindings-mode form of
+    ``call.argument`` (``fn(bindings, params)``); without it the
+    argument is interpreted with a fresh :class:`RowScope` per row.
+    """
     if call.argument is None:  # COUNT(*)
         return len(group)
     values = []
-    for bindings in group:
-        value = call.argument.evaluate(
-            RowScope(bindings, columns_by_binding), params
-        )
-        if value is not None:
-            values.append(value)
+    if extractor is not None:
+        for bindings in group:
+            value = extractor(bindings, params)
+            if value is not None:
+                values.append(value)
+    else:
+        for bindings in group:
+            value = call.argument.evaluate(
+                RowScope(bindings, columns_by_binding), params
+            )
+            if value is not None:
+                values.append(value)
     if call.distinct:
         seen = []
         for value in values:
@@ -483,6 +579,46 @@ class SortKey:
         sign = compare_values(self.value, other.value)
         assert sign is not None
         return sign
+
+
+class DescendingKey(SortKey):
+    """A :class:`SortKey` with the comparison inverted — DESC order in a
+    single lexicographic sort, without ``reverse=True`` (which cannot be
+    applied per key once keys are composite).  NULLs, being "smallest"
+    ascending, land last under DESC — the same placement the seed's
+    per-key ``reverse=True`` passes produced."""
+
+    __slots__ = ()
+
+    def __lt__(self, other):
+        return self._compare(other) > 0
+
+
+def sort_rows_with_keys(rows_with_keys: list, order_by) -> None:
+    """Sort ``(row, keys)`` pairs in place by the ORDER BY items.
+
+    One stable pass over composite ``(SortKey | DescendingKey, ...)``
+    tuples — mathematically identical to the seed's last-to-first
+    stable-pass loop, but with one sort call and, crucially, *shared by
+    the compiled and interpreted execution modes*, so NULL-heavy and
+    mixed-type orderings cannot diverge between them: equal keys keep
+    input order in both, and incomparable values raise the same
+    :class:`~repro.errors.QueryError` from ``compare_values`` in both.
+    """
+    if not order_by:
+        return
+    wrappers = tuple(
+        DescendingKey if item.descending else SortKey for item in order_by
+    )
+    if len(wrappers) == 1:
+        wrap = wrappers[0]
+        rows_with_keys.sort(key=lambda pair: wrap(pair[1][0]))
+        return
+    rows_with_keys.sort(
+        key=lambda pair: tuple(
+            wrap(value) for wrap, value in zip(wrappers, pair[1])
+        )
+    )
 
 
 @dataclass

@@ -31,10 +31,12 @@ filter — which E14 uses as its baseline.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Mapping
 
 from repro.errors import QueryError
 from repro.rdb import cost
+from repro.rdb.compile import compile_plan
 from repro.rdb.executor import (
     AccessPath,
     Bindings,
@@ -45,9 +47,9 @@ from repro.rdb.executor import (
     ResultSet,
     RowScope,
     ScanOp,
-    SortKey,
     collect_aggregates,
     compute_aggregate,
+    sort_rows_with_keys,
     substitute_aggregates,
 )
 from repro.rdb.expr import (
@@ -90,7 +92,7 @@ def _constant(expr: Expr) -> bool:
 
 class SelectPlan:
     def __init__(self, select: Select, stores: Mapping[str, TableStore],
-                 optimize: bool = True):
+                 optimize: bool = True, compiled: bool | None = None):
         self.select = select
         self.stores = stores
         self.optimize = optimize
@@ -110,6 +112,38 @@ class SelectPlan:
         else:
             self.root = self._build_tree_naive()
         self.output_columns, self._projection = self._build_projection()
+        #: grouped execution computed once: GROUP BY or any aggregate
+        self.grouped = bool(select.group_by) or self._has_aggregates()
+        self._wanted_aggregates = self._collect_wanted_aggregates()
+        # Compiled execution (repro.rdb.compile).  ``compiled=None``
+        # follows ``optimize``: the naive seed plan stays interpreted so
+        # ``prepare(optimize=False)`` remains a byte-identity oracle.
+        self.compiled_emit = None
+        self.compiled_row_emit = None
+        self.compiled_group_key = None
+        self.compiled_agg_args: dict[AggregateCall, object] = {}
+        self.compile_stats: dict[str, int] | None = None
+        self.compile_seconds = 0.0
+        self.exec_mode = "interpreted"
+        if optimize if compiled is None else compiled:
+            started = time.perf_counter()
+            self.compile_stats = compile_plan(self)
+            self.compile_seconds = time.perf_counter() - started
+            self.exec_mode = (
+                "compiled" if self.compile_stats["interpreted"] == 0
+                else "mixed"
+            )
+
+    def _collect_wanted_aggregates(self) -> list[AggregateCall]:
+        """Every aggregate any clause needs, in evaluation order."""
+        wanted: list[AggregateCall] = []
+        for item in self.select.items:
+            if item.expr is not None:
+                wanted.extend(collect_aggregates(item.expr))
+        wanted.extend(collect_aggregates(self.select.having))
+        for order_item in self.select.order_by:
+            wanted.extend(collect_aggregates(order_item.expr))
+        return wanted
 
     def _store(self, table: str) -> TableStore:
         if table not in self.stores:
@@ -852,10 +886,11 @@ class SelectPlan:
             post.append("GroupAggregate")
         for depth, label in enumerate(post):
             lines.append("  " * depth + label)
-        self._explain_node(self.root, len(post), lines)
+        self._explain_node(self.root, len(post), lines, root=True)
         return "\n".join(lines)
 
-    def _explain_node(self, node, depth: int, lines: list[str]) -> None:
+    def _explain_node(self, node, depth: int, lines: list[str],
+                      root: bool = False) -> None:
         label = node.describe()
         annotations = []
         if isinstance(node, ScanOp):
@@ -865,6 +900,13 @@ class SelectPlan:
         if node.est_rows is not None:
             annotations.append(f"rows~{node.est_rows:.1f}")
             annotations.append(f"cost~{node.est_cost:.1f}")
+        if root:
+            # execution mode is a plan-wide property; it annotates the
+            # root operator (never a separate line, so line-positional
+            # consumers of EXPLAIN output keep working)
+            annotations.append(f"exec={self.exec_mode}")
+            if self.compiled_row_emit is not None:
+                annotations.append("fused")
         if annotations:
             label += f"  [{' '.join(annotations)}]"
         lines.append("  " * depth + label)
@@ -886,13 +928,10 @@ class SelectPlan:
         params = dict(params or {})
         select = self.select
 
-        has_aggregates = any(
-            collect_aggregates(item.expr)
-            for item in select.items
-            if item.expr is not None
-        ) or collect_aggregates(select.having)
-        if select.group_by or has_aggregates:
+        if self.grouped:
             produced = self._execute_grouped(params)
+        elif self.compiled_row_emit is not None:
+            produced = self._execute_fused(params)
         else:
             produced = self._execute_plain(params)
 
@@ -916,11 +955,7 @@ class SelectPlan:
                     unique_rows.append((row, keys))
             rows_with_keys = unique_rows
 
-        for index in range(len(select.order_by) - 1, -1, -1):
-            descending = select.order_by[index].descending
-            rows_with_keys.sort(
-                key=lambda pair, i=index: SortKey(pair[1][i]), reverse=descending
-            )
+        sort_rows_with_keys(rows_with_keys, select.order_by)
 
         if select.offset:
             rows_with_keys = rows_with_keys[select.offset:]
@@ -963,7 +998,21 @@ class SelectPlan:
                 out[name] = expr.evaluate(scope, params)
         return out
 
+    def _execute_fused(self, params: dict):
+        """The fused scan→filter→project pipeline for compiled
+        single-scan plans: the scan's matching rows feed the row-mode
+        emit function directly — no binding map, no :class:`RowScope`,
+        no per-operator handoff."""
+        emit = self.compiled_row_emit
+        for row in self.root.matching_rows(params):
+            yield emit(row, params)
+
     def _execute_plain(self, params: dict):
+        emit = self.compiled_emit
+        if emit is not None:
+            for bindings in self.root.rows(params):
+                yield emit(bindings, params)
+            return
         for bindings in self.root.rows(params):
             scope = RowScope(bindings, self.columns_by_binding)
             out_row = self._project_row(scope, bindings, params)
@@ -973,33 +1022,39 @@ class SelectPlan:
         select = self.select
         groups: dict[tuple, list[Bindings]] = {}
         order: list[tuple] = []
-        for bindings in self.root.rows(params):
-            scope = RowScope(bindings, self.columns_by_binding)
-            key = tuple(expr.evaluate(scope, params) for expr in select.group_by)
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append(bindings)
+        group_key = self.compiled_group_key
+        if group_key is not None:
+            for bindings in self.root.rows(params):
+                key = group_key(bindings, params)
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(bindings)
+        else:
+            for bindings in self.root.rows(params):
+                scope = RowScope(bindings, self.columns_by_binding)
+                key = tuple(
+                    expr.evaluate(scope, params) for expr in select.group_by
+                )
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(bindings)
         if not select.group_by and not groups:
             # Aggregates over an empty table still produce one row.
             groups[()] = []
             order.append(())
 
-        wanted: list[AggregateCall] = []
-        for item in select.items:
-            if item.expr is not None:
-                wanted.extend(collect_aggregates(item.expr))
-        wanted.extend(collect_aggregates(select.having))
-        for order_item in select.order_by:
-            wanted.extend(collect_aggregates(order_item.expr))
-
+        wanted = self._wanted_aggregates
+        extractors = self.compiled_agg_args
         for key in order:
             group = groups[key]
             aggregate_values: dict[AggregateCall, object] = {}
             for call in wanted:
                 if call not in aggregate_values:
                     aggregate_values[call] = compute_aggregate(
-                        call, group, self.columns_by_binding, params
+                        call, group, self.columns_by_binding, params,
+                        extractor=extractors.get(call),
                     )
             representative: Bindings = (
                 group[0] if group

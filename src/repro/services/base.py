@@ -124,7 +124,13 @@ class RuntimeContext:
     # -- data access (the paper's JDBC layer) -------------------------------
 
     def query(self, sql: str, params: dict) -> ResultSet:
-        """Run a data-extraction query through a pooled connection."""
+        """Run a data-extraction query through a pooled connection.
+
+        Repeated descriptor queries behave like prepared statements: the
+        database keys its plan cache by this SQL text, so every call
+        after the first skips parsing *and* planning and runs the cached
+        plan's compiled form directly (``Database.stats.prepared_reuse``
+        counts these)."""
         connection = self.pool.acquire(timeout=self.POOL_ACQUIRE_TIMEOUT)
         try:
             result = self.database.query(sql, params)
