@@ -53,6 +53,30 @@ class WebApplication:
             device_classifier=self._device_classifier(view_renderer),
         )
 
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the application down: flush and close the data tier.
+
+        Idempotent; with a durable database this is what guarantees the
+        WAL's group-commit tail reaches disk before process exit."""
+        self.ctx.close()
+
+    def __enter__(self) -> "WebApplication":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def enable_commit_invalidation(self) -> None:
+        """Route entity cache invalidation through the storage engine's
+        commit stream (see
+        :meth:`repro.services.base.RuntimeContext.enable_commit_invalidation`),
+        using the generated model's table→entity mapping."""
+        self.ctx.enable_commit_invalidation(
+            self.project.mapping.table_entities()
+        )
+
     @staticmethod
     def _device_classifier(view_renderer):
         """Page-cache keys must separate the device classes the

@@ -79,14 +79,25 @@ class ThreadedAppServer:
             self._threads.append(thread)
         return self
 
-    def stop(self) -> None:
-        if not self._threads:
-            return
-        for _ in self._threads:
-            self._queue.put(_STOP)
-        for thread in self._threads:
-            thread.join()
-        self._threads = []
+    def stop(self, close_app: bool = False) -> None:
+        """Drain the workers and join them.
+
+        With ``close_app=True`` the application itself is shut down
+        after the last worker exits (``app.close()``), which flushes and
+        closes a durable data tier deterministically — every commit the
+        workers acknowledged is on disk before ``stop`` returns.  The
+        default leaves the application running (seed behaviour: servers
+        are routinely restarted against a live application)."""
+        if self._threads:
+            for _ in self._threads:
+                self._queue.put(_STOP)
+            for thread in self._threads:
+                thread.join()
+            self._threads = []
+        if close_app:
+            close = getattr(self.app, "close", None)
+            if close is not None:
+                close()
 
     def __enter__(self) -> "ThreadedAppServer":
         return self.start()

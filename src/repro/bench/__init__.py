@@ -1,5 +1,17 @@
 """Experiment harness shared by the ``benchmarks/`` suite."""
 
-from repro.bench.harness import ExperimentReport, report_path, save_report
+from repro.bench.harness import (
+    ExperimentReport,
+    json_path,
+    report_path,
+    save_json,
+    save_report,
+)
 
-__all__ = ["ExperimentReport", "save_report", "report_path"]
+__all__ = [
+    "ExperimentReport",
+    "save_report",
+    "save_json",
+    "report_path",
+    "json_path",
+]

@@ -5,10 +5,17 @@ figure/number the paper states, alongside the value measured by the
 reproduction.  Reports are printed (visible with ``pytest -s``) and
 written to ``benchmarks/reports/<experiment>.txt`` so EXPERIMENTS.md
 can quote real runs.
+
+Benchmarks that want machine-readable output pass ``json_payload`` to
+:func:`save_report` (or call :func:`save_json` directly): the payload is
+written next to the text report as ``BENCH_<experiment>.json``, so CI
+steps and tooling can assert on measured numbers without scraping the
+rendered table.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 
@@ -68,11 +75,39 @@ def report_path(experiment_id: str) -> str:
     return os.path.join(base, f"{experiment_id}.txt")
 
 
-def save_report(report: ExperimentReport, echo: bool = True) -> str:
-    """Write the report file; returns the rendered text."""
+def json_path(experiment_id: str) -> str:
+    base = os.environ.get("REPRO_REPORT_DIR",
+                          os.path.join("benchmarks", "reports"))
+    os.makedirs(base, exist_ok=True)
+    return os.path.join(base, f"BENCH_{experiment_id}.json")
+
+
+def save_json(experiment_id: str, payload: dict) -> str:
+    """Write an experiment's machine-readable results; returns the path."""
+    path = json_path(experiment_id)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def save_report(report: ExperimentReport, echo: bool = True,
+                json_payload: dict | None = None) -> str:
+    """Write the report file; returns the rendered text.
+
+    ``json_payload``, when given, also lands in ``BENCH_<id>.json``
+    (augmented with the experiment id and title for self-description).
+    """
     text = report.render()
     with open(report_path(report.experiment_id), "w") as handle:
         handle.write(text)
+    if json_payload is not None:
+        payload = {
+            "experiment": report.experiment_id,
+            "title": report.title,
+            **json_payload,
+        }
+        save_json(report.experiment_id, payload)
     if echo:
         print("\n" + text)
     return text

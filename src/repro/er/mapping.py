@@ -104,6 +104,27 @@ class RelationalMapping:
     def table_for(self, entity: str) -> str:
         return self.entity_map(entity).table
 
+    def table_entities(self) -> dict[str, tuple[str, ...]]:
+        """Table name → ER entities whose derived content it carries.
+
+        The reverse of the mapping rules, used to translate the storage
+        engine's commit events (which speak in tables) back into the
+        entity vocabulary the cache tiers invalidate by.  Entity tables
+        map to their entity; a bridge table maps to *both* endpoint
+        entities, since content shown for either side changes when the
+        relationship does.
+        """
+        tables: dict[str, tuple[str, ...]] = {
+            entity_map.table: (entity_map.entity,)
+            for entity_map in self.entity_maps.values()
+        }
+        for rmap in self.relationship_maps.values():
+            if rmap.kind == "bridge" and rmap.bridge_table:
+                tables[rmap.bridge_table] = (
+                    rmap.source_entity, rmap.target_entity
+                )
+        return tables
+
     def join_steps(self, role_name: str) -> list[dict]:
         """The join conditions to traverse a relationship role.
 

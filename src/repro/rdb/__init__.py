@@ -13,18 +13,31 @@ Layering (each module only imports the ones above it):
 - :mod:`repro.rdb.expr` — the expression AST with SQL three-valued logic,
 - :mod:`repro.rdb.sqlparser` — tokenizer + recursive-descent SQL parser,
 - :mod:`repro.rdb.storage` — heap row storage with ordered hash indexes,
+- :mod:`repro.rdb.wal` / :mod:`repro.rdb.snapshot` — the binary
+  write-ahead log (typed, CRC-framed commit records) and atomic
+  point-in-time snapshots,
+- :mod:`repro.rdb.engine` — the storage engine boundary: tables,
+  transactions, the commit stream, and (``DurableEngine``) WAL +
+  snapshot persistence with crash recovery,
 - :mod:`repro.rdb.statistics` / :mod:`repro.rdb.cost` — ANALYZE
   snapshots and the selectivity/cost model they feed,
 - :mod:`repro.rdb.planner` / :mod:`repro.rdb.executor` — cost-based
   planning and execution of SELECT statements (index/range/IN scans,
   filters, hash and nested-loop joins, grouping, sorting, limits),
-- :mod:`repro.rdb.database` — the engine facade with DDL/DML and
-  constraint enforcement,
+- :mod:`repro.rdb.database` — the logical-layer facade with DDL/DML
+  and constraint enforcement over a pluggable engine,
 - :mod:`repro.rdb.connection` — connections, cursors and a pool.
 """
 
 from repro.rdb.connection import Connection, ConnectionPool, Cursor
 from repro.rdb.database import Database
+from repro.rdb.engine import (
+    CommitEvent,
+    CommitStream,
+    DurableEngine,
+    MemoryEngine,
+    StorageEngine,
+)
 from repro.rdb.schema import Column, ForeignKey, Index, TableSchema
 from repro.rdb.statistics import ColumnStatistics, TableStatistics
 from repro.rdb.types import (
@@ -40,6 +53,11 @@ from repro.rdb.types import (
 
 __all__ = [
     "Database",
+    "StorageEngine",
+    "MemoryEngine",
+    "DurableEngine",
+    "CommitEvent",
+    "CommitStream",
     "Connection",
     "Cursor",
     "ConnectionPool",

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import IntegrityError, QueryError, SchemaError
+from repro.rdb.engine import DurableEngine, MemoryEngine, StorageEngine
 from repro.rdb.executor import ResultSet, RowScope
 from repro.rdb.planner import SelectPlan
 from repro.rdb.schema import ForeignKey, TableSchema
@@ -90,7 +91,15 @@ class ExecutionOutcome:
 
 
 class Database:
-    """An in-memory relational database.
+    """A relational database over a pluggable storage engine.
+
+    The logical layer (this class: parsing, planning, compiled
+    execution, constraint enforcement) is separated from storage: a
+    :class:`~repro.rdb.engine.StorageEngine` owns the tables, indexes,
+    and transactions.  The default :class:`~repro.rdb.engine.MemoryEngine`
+    reproduces the seed's purely in-memory behaviour; ``Database.open``
+    builds a :class:`~repro.rdb.engine.DurableEngine` with write-ahead
+    logging, snapshots, and crash recovery.
 
     Thread safety: a readers-writer lock lets data-extraction queries
     (SELECT) run concurrently while DML, DDL, and undo-log transactions
@@ -99,13 +108,13 @@ class Database:
     are invisible to readers.  ``last_insert_id`` is thread-local.
     """
 
-    def __init__(self, name: str = "main"):
+    def __init__(self, name: str = "main",
+                 engine: StorageEngine | None = None):
         self.name = name
-        self.tables: dict[str, TableStore] = {}
+        self.engine = engine if engine is not None else MemoryEngine()
         self.stats = DatabaseStats()
         self._plan_cache: dict[str, SelectPlan] = {}
         self._plan_lock = threading.Lock()
-        self._undo_log: list[tuple] | None = None
         self._rwlock = ReadWriteLock()
         self._exec_local = threading.local()
         #: simulated network/disk round-trip per statement.  The paper's
@@ -132,6 +141,83 @@ class Database:
             "compile_seconds_total": 0.0,
         }
 
+    # -- storage-engine boundary -------------------------------------------
+
+    @property
+    def tables(self) -> dict[str, TableStore]:
+        """The engine's table registry (the planner reads it directly)."""
+        return self.engine.tables
+
+    @property
+    def commit_stream(self):
+        """The engine's commit stream — subscribe for invalidation or
+        (eventually) replication."""
+        return self.engine.commit_stream
+
+    @classmethod
+    def open(cls, path: str, name: str = "main",
+             group_commit_window: float = 0.0,
+             checkpoint_bytes: int | None = None) -> "Database":
+        """Open (or create) a durable database under directory ``path``.
+
+        Construction recovers: the latest snapshot is loaded and the
+        committed WAL suffix replayed, so the returned database holds
+        exactly the state of the longest committed prefix on disk.
+        """
+        return cls(name=name, engine=DurableEngine(
+            path, group_commit_window=group_commit_window,
+            checkpoint_bytes=checkpoint_bytes,
+        ))
+
+    def close(self) -> None:
+        """Flush and close the storage engine.  Idempotent: closing an
+        already-closed database is a no-op, so shutdown paths can call
+        it unconditionally."""
+        self.engine.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.engine.closed
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def checkpoint(self) -> int:
+        """Snapshot + WAL truncation on a durable engine (no-op size 0
+        on the in-memory engine)."""
+        checkpoint = getattr(self.engine, "checkpoint", None)
+        if checkpoint is None:
+            return 0
+        with self._rwlock.write_locked():
+            return checkpoint()
+
+    def storage_stats(self) -> dict:
+        """Engine-level durability counters for ``/_status``."""
+        return self.engine.observability_stats()
+
+    @contextlib.contextmanager
+    def _write_scope(self):
+        """Write lock + engine commit scope for one top-level write.
+
+        The commit event (if the scope committed — i.e. outside an
+        explicit transaction) is published *after* the write lock is
+        released, so invalidation subscribers never run on the engine's
+        critical section.
+        """
+        self._rwlock.acquire_write()
+        event = None
+        try:
+            with self.engine.statement_scope() as scope:
+                yield
+            event = scope.event
+        finally:
+            self._rwlock.release_write()
+        if event is not None:
+            self.engine.commit_stream.publish(event)
+
     def bind_observability(self, obs) -> None:
         """Attach the application's metrics registry (the statement
         histogram is cached here so the hot path never consults the
@@ -139,6 +225,7 @@ class Database:
         self.obs = obs
         self._stmt_histogram = obs.metrics.histogram("rdb.statement_seconds")
         self._compile_histogram = obs.metrics.histogram("rdb.compile_seconds")
+        self.engine.bind_observability(obs)
 
     def observability_stats(self) -> dict:
         """Statement counters plus slow-log summary for ``/_status``."""
@@ -227,10 +314,11 @@ class Database:
 
     def begin(self) -> None:
         self._rwlock.acquire_write()
-        if self._undo_log is not None:
+        try:
+            self.engine.begin()
+        except BaseException:
             self._rwlock.release_write()
-            raise QueryError("a transaction is already active")
-        self._undo_log = []
+            raise
 
     def _require_transaction_owner(self, verb: str) -> None:
         if not self._rwlock.write_held_by_current_thread():
@@ -239,30 +327,28 @@ class Database:
             )
 
     def commit(self) -> None:
-        if self._undo_log is None:
+        if not self.engine.in_transaction:
             raise QueryError("no active transaction to commit")
         self._require_transaction_owner("commit")
-        self._undo_log = None
-        self._rwlock.release_write()
-
-    def rollback(self) -> None:
-        if self._undo_log is None:
-            raise QueryError("no active transaction to roll back")
-        self._require_transaction_owner("roll back")
-        log, self._undo_log = self._undo_log, None
         try:
-            for entry in reversed(log):
-                kind, table, row_id, row = entry
-                store = self.table(table)
-                if kind == "insert":
-                    if row_id in store.rows:
-                        store.delete_row(row_id)
-                elif kind == "delete":
-                    store.restore_row(row_id, row)
-                else:  # update
-                    store.force_row(row_id, row)
+            event = self.engine.commit()
         finally:
             self._rwlock.release_write()
+        if event is not None:
+            self.engine.commit_stream.publish(event)
+
+    def rollback(self) -> None:
+        if not self.engine.in_transaction:
+            raise QueryError("no active transaction to roll back")
+        self._require_transaction_owner("roll back")
+        try:
+            # DDL is not transactional: the engine undoes the DML but
+            # commits any schema changes as their own record.
+            event = self.engine.rollback()
+        finally:
+            self._rwlock.release_write()
+        if event is not None:
+            self.engine.commit_stream.publish(event)
 
     @contextlib.contextmanager
     def transaction(self):
@@ -279,23 +365,19 @@ class Database:
 
     @property
     def in_transaction(self) -> bool:
-        return self._undo_log is not None
-
-    def _record(self, kind: str, table: str, row_id: int,
-                row: dict | None = None) -> None:
-        if self._undo_log is not None:
-            self._undo_log.append((kind, table, row_id, row))
+        return self.engine.in_transaction
 
     # -- schema ---------------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> TableStore:
-        with self._rwlock.write_locked():
+        with self._write_scope():
             if schema.name in self.tables:
                 raise SchemaError(f"table {schema.name!r} already exists")
             for fkey in schema.foreign_keys:
                 self._check_fk_target(schema.name, fkey)
             store = TableStore(schema)
             self.tables[schema.name] = store
+            self.engine.note_create_table(schema)
             # No plan invalidation: a plan referencing an unknown table
             # never compiled, so no cached plan can involve a new table.
             return store
@@ -319,7 +401,7 @@ class Database:
                 )
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
-        with self._rwlock.write_locked():
+        with self._write_scope():
             if name not in self.tables:
                 if if_exists:
                     return
@@ -333,6 +415,7 @@ class Database:
                             f"cannot drop {name!r}: referenced by {other_name!r}"
                         )
             del self.tables[name]
+            self.engine.note_drop_table(name)
             self._invalidate_plans({name})
 
     def table(self, name: str) -> TableStore:
@@ -371,7 +454,7 @@ class Database:
         if self.io_delay:
             time.sleep(self.io_delay)  # the wire, not the engine: no lock held
         try:
-            with self._rwlock.write_locked():
+            with self._write_scope():
                 if isinstance(statement, Insert):
                     return self._execute_insert(statement, params or {})
                 if isinstance(statement, Update):
@@ -384,6 +467,9 @@ class Database:
                     return None
                 if isinstance(statement, CreateIndex):
                     self.table(statement.table).add_index(statement.index)
+                    self.engine.note_create_index(
+                        statement.table, statement.index
+                    )
                     self.stats.ddl += 1
                     self._invalidate_plans({statement.table})
                     return None
@@ -520,7 +606,7 @@ class Database:
         """Collect planner statistics for ``table`` (or every table),
         then invalidate the cached plans that read the analyzed tables
         so they re-plan against the fresh distributions."""
-        with self._rwlock.write_locked():
+        with self._write_scope():
             self._analyze_locked(table)
 
     def _analyze_locked(self, table: str | None) -> None:
@@ -531,6 +617,7 @@ class Database:
         for store in targets:
             store.statistics = collect_statistics(store)
             analyzed.add(store.schema.name)
+        self.engine.note_analyze(table)
         self.stats.analyzes += 1
         self._invalidate_plans(analyzed)
 
@@ -542,12 +629,12 @@ class Database:
     def insert_row(self, table: str, values: dict) -> dict:
         """Insert one row given a column→value mapping; returns the stored
         row (with auto-increment/default values filled in)."""
-        with self._rwlock.write_locked():
+        with self._write_scope():
             store = self.table(table)
             row = store.prepare_row(values)
             self._check_foreign_keys_outgoing(store, row)
             row_id = store.insert_prepared(row)
-            self._record("insert", table, row_id)
+            self.engine.note_insert(table, row_id, row)
             self.stats.inserts += 1
             self.stats.record_write(table)
             auto = next(
@@ -601,7 +688,7 @@ class Database:
             except IntegrityError:
                 store.force_row(row_id, old)  # roll the row back
                 raise
-            self._record("update", statement.table, row_id, old)
+            self.engine.note_update(statement.table, row_id, old, new)
             self.stats.record_write(statement.table)
         self.stats.updates += 1
         return len(row_ids)
@@ -617,7 +704,7 @@ class Database:
 
     def delete_where(self, table: str, where_sql_row_filter=None) -> int:
         """Programmatic delete helper used by tests/seeders."""
-        with self._rwlock.write_locked():
+        with self._write_scope():
             store = self.table(table)
             row_ids = [
                 rid for rid, row in list(store.rows.items())
@@ -654,13 +741,13 @@ class Database:
                     for ref_id in referencing:
                         if ref_id in other.rows:
                             previous = dict(other.rows[ref_id])
-                            other.update_row(
+                            nulled = other.update_row(
                                 ref_id, {c: None for c in fkey.columns}
                             )
-                            self._record("update", other_name, ref_id,
-                                         previous)
+                            self.engine.note_update(other_name, ref_id,
+                                                    previous, nulled)
                             self.stats.record_write(other_name)
-        self._record("delete", table, row_id, dict(row))
+        self.engine.note_delete(table, row_id, dict(row))
         store.delete_row(row_id)
         self.stats.record_write(table)
 

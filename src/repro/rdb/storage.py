@@ -314,6 +314,30 @@ class TableStore:
             index.add(row_id, row)
         self._next_row_id = max(self._next_row_id, row_id + 1)
 
+    # -- durability support (WAL replay and snapshots) ---------------------
+
+    @property
+    def auto_counter(self) -> int:
+        """The auto-increment high-water mark (snapshot/replay state)."""
+        return self._auto_counter
+
+    @property
+    def next_row_id(self) -> int:
+        return self._next_row_id
+
+    def restore_counters(self, auto_counter: int, next_row_id: int) -> None:
+        """Reinstate counters exactly as a snapshot recorded them."""
+        self._auto_counter = auto_counter
+        self._next_row_id = next_row_id
+
+    def apply_redo_insert(self, row_id: int, row: dict) -> None:
+        """Replay a committed insert: the row is known-good, so no
+        constraint checks; counters advance past the replayed values."""
+        self.restore_row(row_id, row)
+        for column in self.schema.columns:
+            if column.auto_increment and isinstance(row.get(column.name), int):
+                self._auto_counter = max(self._auto_counter, row[column.name])
+
     def force_row(self, row_id: int, row: dict) -> None:
         """Overwrite a row with an earlier version (undo of an update)."""
         old = self.rows[row_id]

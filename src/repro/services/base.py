@@ -86,10 +86,20 @@ class RuntimeContext:
         self.obs.metrics.register_collector(
             "services.runtime", self._runtime_stats_snapshot
         )
+        self.obs.metrics.register_collector(
+            "rdb.storage", self.database.storage_stats
+        )
         # §6's write notifications fan out to every cache level through
         # one bus; deeper tiers must be registered first (bean →
         # fragment → page) so a rebuilding request finds clean levels.
         self.invalidation_bus = InvalidationBus()
+        # Commit-driven invalidation (off by default, byte-for-byte seed
+        # behaviour): when enabled, entity invalidations ride the storage
+        # engine's commit stream instead of the operation services'
+        # ad-hoc calls.  See :meth:`enable_commit_invalidation`.
+        self.commit_invalidation_enabled = False
+        self._commit_table_entities: dict[str, tuple[str, ...]] = {}
+        self.commit_invalidations = 0
         if bean_cache is not None:
             self.invalidation_bus.register("bean", bean_cache)
             self._register_cache_collector("bean", bean_cache)
@@ -115,11 +125,57 @@ class RuntimeContext:
             "batched_queries": self.stats.batched_queries,
             "bean_cache_hits": self.stats.bean_cache_hits,
             "bean_cache_misses": self.stats.bean_cache_misses,
+            "commit_invalidation_enabled": self.commit_invalidation_enabled,
+            "commit_invalidations": self.commit_invalidations,
         }
 
     def invalidate_writes(self, entities=(), roles=()) -> dict[str, int]:
         """Publish an operation's write sets to every cache level."""
         return self.invalidation_bus.invalidate_writes(entities, roles)
+
+    # -- commit-driven invalidation ----------------------------------------
+
+    def enable_commit_invalidation(
+        self, table_entities: dict[str, tuple[str, ...]] | None = None
+    ) -> None:
+        """Invalidate caches from the engine's durable commit stream.
+
+        Every committed transaction — DML through any path, not just
+        descriptor operations — publishes a
+        :class:`~repro.rdb.engine.CommitEvent`; this subscription
+        translates the tables it touched into ER entities (via
+        ``table_entities``, usually
+        :meth:`repro.er.mapping.RelationalMapping.table_entities`;
+        unmapped tables fall back to their own name) and fans the
+        invalidation out to every cache level.  Once enabled, operation
+        services stop publishing their descriptors' *entity* write sets
+        ad hoc (role write sets still ride the descriptor path — roles
+        are a hypertext concept the storage tier cannot see).  This is
+        the hook WAL-shipping replication attaches to: replicas replay
+        the same stream into their own buses.
+        """
+        if table_entities is not None:
+            self._commit_table_entities = dict(table_entities)
+        if not self.commit_invalidation_enabled:
+            self.database.commit_stream.subscribe(self._on_commit_event)
+            self.commit_invalidation_enabled = True
+
+    def _on_commit_event(self, event) -> None:
+        entities: set[str] = set()
+        for table in event.tables:
+            entities.update(
+                self._commit_table_entities.get(table, (table,))
+            )
+        if entities:
+            self.commit_invalidations += 1
+            self.invalidation_bus.invalidate_writes(sorted(entities), ())
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Deterministic data-tier shutdown: flush and close the
+        storage engine.  Idempotent — safe from any shutdown path."""
+        self.database.close()
 
     # -- data access (the paper's JDBC layer) -------------------------------
 

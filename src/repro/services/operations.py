@@ -110,7 +110,16 @@ class _StatementOperationService(OperationServiceBase):
                        ctx: RuntimeContext) -> None:
         """§6: 'the implementation of operations automatically
         invalidates the affected cached objects' — on every cache
-        level (bean, fragment, page) through the invalidation bus."""
+        level (bean, fragment, page) through the invalidation bus.
+
+        With commit-driven invalidation enabled, *entity* write sets
+        already rode the storage engine's commit stream (published by
+        the commit this follows), so only the descriptor's *role*
+        write sets — invisible to the storage tier — go out here."""
+        if ctx.commit_invalidation_enabled:
+            if descriptor.writes_roles:
+                ctx.invalidate_writes((), descriptor.writes_roles)
+            return
         ctx.invalidate_writes(
             descriptor.writes_entities, descriptor.writes_roles
         )
