@@ -162,7 +162,13 @@ def test_e13_read_scaling(benchmark):
                round(speedup, 2), "I/O waits overlap across threads")
     report.add(f"ACM speedup at {acm_runs[-1]['workers']} workers",
                ">= 2x", round(acm_speedup, 2))
-    save_report(report)
+    save_report(report, json_payload={
+        "bookstore_runs": bookstore_runs,
+        "acm_runs": acm_runs,
+        "bookstore_speedup": round(speedup, 3),
+        "acm_speedup": round(acm_speedup, 3),
+        "scaling_floor": SCALING_FLOOR,
+    })
 
     assert speedup >= SCALING_FLOOR, (
         f"4-worker throughput only {speedup:.2f}x the single-worker run"
@@ -302,7 +308,13 @@ def test_e13_mixed_consistency(benchmark):
     report.add("pool waits (count / seconds)", "observed",
                f"{pool_stats['wait_count']} / "
                f"{pool_stats['total_wait_seconds']:.3f}")
-    save_report(report)
+    save_report(report, json_payload={
+        "consistency_violations": len(violations),
+        "writers": WRITERS,
+        "readers": READERS,
+        "cache": cache_stats.to_dict(),
+        "pool_waits": pool_stats,
+    })
 
     assert len(violations) == 0, "; ".join(violations.items[:5])
     assert cache_stats.invalidations > 0, (

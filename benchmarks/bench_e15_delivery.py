@@ -248,4 +248,4 @@ def test_e15_report():
             f"{measured['staleness_violations']} stale reads",
             note=f"{measured['queries_per_request']:.2f} queries/request",
         )
-    save_report(report)
+    save_report(report, json_payload={"phases": dict(_RESULTS)})

@@ -13,15 +13,23 @@ accessed by Web applications and other enterprise applications."
   resident regardless of traffic;
 - :mod:`repro.appserver.threaded` — the request front end: N worker
   threads pulling requests off a queue and running them through the
-  full (thread-safe) request path concurrently.
+  full (thread-safe) request path concurrently, plus a
+  thread-per-connection socket front on the shared
+  :mod:`repro.httpcore` protocol machine;
+- :mod:`repro.appserver.async_edge` — the event-loop edge: one thread
+  owns every keep-alive connection, page-cache hits are served inline
+  on the loop, computation runs on a bounded worker pool, cache-miss
+  pages stream chunked while their unit services compute.
 """
 
+from repro.appserver.async_edge import AsyncAppServer
 from repro.appserver.container import ComponentContainer, ComponentDescriptor
 from repro.appserver.integration import deploy_business_tier
 from repro.appserver.servlet_tier import ServletTierDeployment
 from repro.appserver.threaded import ThreadedAppServer
 
 __all__ = [
+    "AsyncAppServer",
     "ComponentContainer",
     "ComponentDescriptor",
     "ServletTierDeployment",

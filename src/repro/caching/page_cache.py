@@ -135,6 +135,28 @@ class PageCache:
             self.stats.increment("hits")
             return entry
 
+    def peek(self, key) -> PageEntry | None:
+        """A hit-or-nothing read for the edge fast path.
+
+        Hits count (and refresh LRU order) exactly like :meth:`get`;
+        a miss counts *nothing* — the caller is about to fall through
+        to the full path, whose :meth:`get_or_build` records the miss
+        once.  Without this, every inline probe of an uncached page
+        would double-count misses and skew the E15/E19 hit ratios.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if (entry.expires_at is not None
+                    and self.clock.now() >= entry.expires_at):
+                self._remove(key)
+                self.stats.increment("expirations")
+                return None
+            self._entries.move_to_end(key)
+            self.stats.increment("hits")
+            return entry
+
     def put(self, key, entry: PageEntry) -> None:
         with self._lock:
             if key in self._entries:
@@ -190,6 +212,55 @@ class PageCache:
                 with self._flight_lock:
                     del self._in_flight[key]
                 my_event.set()
+
+    # -- streaming builds -----------------------------------------------------
+    #
+    # The chunked delivery path cannot run inside get_or_build: the
+    # body does not exist until the stream has been fully written to
+    # the client.  These three methods expose the same single-flight +
+    # generation discipline as explicit steps, so a stream holds the
+    # page's flight slot while rendering (concurrent misses wait in
+    # get_or_build and reuse the stored entry) and a store is refused
+    # when an invalidation raced the build.
+
+    @property
+    def generation(self) -> int:
+        """The invalidation generation; capture before a detached build."""
+        with self._lock:
+            return self._generation
+
+    def begin_flight(self, key) -> bool:
+        """Claim the single-flight slot for ``key``.
+
+        Returns True when this caller is the leader; False when
+        another build is already in flight (the caller should fall
+        back to :meth:`get_or_build` and wait like any follower).
+        Leaders MUST call :meth:`finish_flight` — streaming callers do
+        so from the chunk iterator's ``finally``, which is why a
+        client disconnect (generator close) cannot wedge the page.
+        """
+        with self._flight_lock:
+            if key in self._in_flight:
+                return False
+            self._in_flight[key] = threading.Event()
+            return True
+
+    def finish_flight(self, key) -> None:
+        """Release the slot claimed by :meth:`begin_flight`, waking
+        every follower parked in :meth:`get_or_build`."""
+        with self._flight_lock:
+            event = self._in_flight.pop(key, None)
+        if event is not None:
+            event.set()
+
+    def put_if_current(self, key, entry: PageEntry, generation: int) -> bool:
+        """Store ``entry`` unless an invalidation raced the build
+        (same guard as :meth:`get_or_build`'s inline path)."""
+        with self._lock:
+            if self._generation != generation:
+                return False
+            self.put(key, entry)
+            return True
 
     # -- model-driven invalidation --------------------------------------------
 

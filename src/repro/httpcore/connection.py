@@ -1,0 +1,107 @@
+"""The per-connection HTTP/1.x state machine (sans-IO).
+
+One :class:`HttpConnection` per accepted socket, owned by whichever
+edge accepted it.  It composes the incremental parser with the
+response encoder and holds the only *stateful* protocol decisions a
+connection needs:
+
+- **persistence** — HTTP/1.1 defaults to keep-alive, HTTP/1.0 to
+  close; a ``Connection: close`` (either version) or ``Connection:
+  keep-alive`` (1.0) header overrides.  The decision is made per
+  request and latched: once a response goes out close-marked,
+  :attr:`should_close` stays true and further input is ignored.  This
+  is the single place keep-alive semantics live — the threaded and
+  async edges both just ask (the seed's threaded server had no wire
+  tier at all, so these semantics now exist exactly once);
+- **session continuity** — when the application assigned a session id
+  the request did not present (no ``repro_session`` cookie, or a
+  stale one), the response gains the ``Set-Cookie`` that makes the
+  next request on any connection stick to it.
+
+No sockets, no clocks, no threads: every method is a pure
+bytes-in/bytes-out step, which is what lets a unit test drive the
+whole protocol surface without opening a port.
+"""
+
+from __future__ import annotations
+
+from repro.mvc.http import HttpRequest, HttpResponse
+from repro.httpcore.parsing import (
+    RequestParser,
+    SESSION_COOKIE,
+    session_id_from_headers,
+)
+from repro.httpcore.wire import encode_response
+
+
+class HttpConnection:
+    """Protocol state for one client connection."""
+
+    def __init__(self, parser: RequestParser | None = None):
+        self.parser = parser or RequestParser()
+        self.requests_handled = 0
+        self._close_pending = False
+
+    # -- inbound -------------------------------------------------------------
+
+    def receive_bytes(self, data: bytes) -> list[HttpRequest]:
+        """Parse whatever arrived; returns every completed request.
+
+        After a close-marked response, leftover pipelined input is
+        discarded — the peer was told the connection is ending.
+        """
+        if self._close_pending:
+            return []
+        return self.parser.feed(data)
+
+    # -- persistence ---------------------------------------------------------
+
+    @staticmethod
+    def keep_alive_after(request: HttpRequest) -> bool:
+        """Whether the connection may persist past ``request``."""
+        connection = request.headers.get("Connection", "").lower()
+        if "close" in connection:
+            return False
+        if getattr(request, "http_version", "HTTP/1.1") == "HTTP/1.0":
+            return "keep-alive" in connection
+        return True
+
+    @property
+    def should_close(self) -> bool:
+        """True once a sent response ended the connection's lifetime."""
+        return self._close_pending
+
+    def mark_close(self) -> None:
+        """Force the connection to end (stream abort, server shutdown)."""
+        self._close_pending = True
+
+    # -- outbound ------------------------------------------------------------
+
+    def send_response(self, request: HttpRequest, response: HttpResponse,
+                      date: str | None = None,
+                      chunked: bool = False) -> bytes:
+        """Encode ``response`` as the answer to ``request``.
+
+        Applies the persistence decision (latching close), attaches the
+        session cookie when the application minted a new session, and
+        returns the wire bytes — the head only when ``chunked`` (the
+        caller frames the body with :func:`~repro.httpcore.wire.encode_chunk`).
+        """
+        keep_alive = self.keep_alive_after(request)
+        if not keep_alive:
+            self._close_pending = True
+        self._apply_session_cookie(request, response)
+        self.requests_handled += 1
+        return encode_response(
+            response, keep_alive=keep_alive, date=date, chunked=chunked
+        )
+
+    @staticmethod
+    def _apply_session_cookie(request: HttpRequest,
+                              response: HttpResponse) -> None:
+        presented = session_id_from_headers(request.headers)
+        assigned = request.session_id
+        if assigned and assigned != presented:
+            response.headers["Set-Cookie"] = (
+                f"{SESSION_COOKIE}={assigned}; Path=/"
+            )

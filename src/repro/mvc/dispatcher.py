@@ -1,4 +1,4 @@
-"""The front controller (the servlet of Figure 3).
+"""The front controller (the servlet of Figure 3), as an explicit pipeline.
 
 Receives :class:`HttpRequest` objects, resolves the session, routes
 through the Controller's action mappings, runs the action, and either
@@ -6,25 +6,38 @@ renders the resulting Model state through the pluggable view renderer or
 emits a redirect.  Site views flagged ``requires_login`` are enforced
 here, before any action runs.
 
-The controller is also the delivery tier's integration point (§6):
+The request lifecycle is an explicit pipeline of named stages
+(:data:`FrontController.PIPELINE`), each a pure step over a shared
+:class:`PipelineState`:
 
-- **level-0 page cache** — GET page requests are answered from whole
-  cached responses keyed by (page, canonical parameters, device,
-  principal); misses single-flight the full action+view path;
-- **conditional HTTP** — every 200 HTML response carries a content
-  digest ``ETag``; an ``If-None-Match`` revalidation that still
-  matches costs a 304 and zero body bytes;
-- **compression** — ``Accept-Encoding: gzip`` negotiates a gzip body,
-  precomputed for page-cache entries.
+1. **route** — reserved paths, home redirects, action-mapping
+   resolution, session binding;
+2. **protect** — site-view login enforcement, before any action runs;
+3. **execute** — page-cache consult / action execution / rendering;
+4. **deliver** — conditional HTTP and compression (the shared
+   :mod:`repro.httpcore.delivery` policy).
+
+A stage that produces a response short-circuits the rest of the chain
+(deliver always runs).  The same stages back three entry points:
+
+- :meth:`handle` — the full request path every server uses;
+- :meth:`probe_cached` — the *edge fast path*: answer a GET page
+  purely from the page cache (stored 200 or 304), without actions or
+  rendering — cheap enough for an event loop to serve inline;
+- :meth:`handle_streaming` — the chunked path: the response head and
+  the compiled template's static prefix leave before the unit
+  services run (see :class:`~repro.httpcore.delivery.StreamedPage`).
 
 Delivery invariants this tier maintains:
 
 - every 200 HTML GET leaves with an ``ETag`` over the *identity* body,
   whether it came from the page cache (validator precomputed at store
-  time) or a fresh render (digested in :meth:`_finalize`) — so a 304
+  time) or a fresh render (digested in the deliver stage) — so a 304
   is always safe to serve against a matching ``If-None-Match``;
 - a page-cache hit and a fresh render of the same model state produce
-  byte-identical bodies, hence identical validators;
+  byte-identical bodies, hence identical validators — and the edge
+  fast path reuses the exact entry/response construction of the full
+  path, so inline and worker-served bytes cannot diverge;
 - operation requests (POSTs) never touch the page cache and are never
   made conditional — their redirects always reach the action tier;
 - observability is read-only: the request trace and the ``/_status``
@@ -38,15 +51,22 @@ Delivery invariants this tier maintains:
 
 from __future__ import annotations
 
-import gzip
 import time
 from collections import defaultdict
 from collections.abc import Callable
+from dataclasses import dataclass
 
-from repro.caching.page_cache import canonical_params, content_etag
+from repro.caching.page_cache import canonical_params
 from repro.errors import ControllerError, ReproError
+from repro.httpcore.delivery import (
+    GZIP_MIN_BYTES,
+    StreamedPage,
+    cache_control_for,
+    entry_response,
+    finalize_delivery,
+)
 from repro.mvc.actions import ActionOutcome, OperationAction, PageAction
-from repro.mvc.controller import Controller
+from repro.mvc.controller import ActionMapping, Controller
 from repro.mvc.http import (
     HttpRequest,
     HttpResponse,
@@ -78,11 +98,25 @@ def plain_view_renderer(page_result: PageResult, request: HttpRequest,
     return "".join(lines)
 
 
+@dataclass
+class PipelineState:
+    """What the pipeline stages accumulate for one request."""
+
+    request: HttpRequest
+    session: object | None = None
+    mapping: ActionMapping | None = None
+    response: HttpResponse | None = None
+
+
 class FrontController:
     """The servlet: one instance serves every request of an application."""
 
     #: bodies below this size are not worth a gzip round-trip
-    GZIP_MIN_BYTES = 200
+    #: (the shared policy constant, re-exported for callers)
+    GZIP_MIN_BYTES = GZIP_MIN_BYTES
+
+    #: the stage names of the request pipeline, in execution order
+    PIPELINE = ("route", "protect", "execute", "deliver")
 
     def __init__(
         self,
@@ -101,6 +135,9 @@ class FrontController:
         self.page_action = PageAction(ctx)
         self.operation_action = OperationAction(ctx)
         self.requests_served = 0
+        #: the short-circuiting stages; deliver is applied by _serve
+        self._stages = (self._stage_route, self._stage_protect,
+                        self._stage_execute)
         # metric objects resolved once — the per-request path must not
         # pay registry dictionary lookups (E16 holds it under 5%).
         # Per-status counts live in a plain dict bumped inline (one
@@ -169,15 +206,20 @@ class FrontController:
         return response
 
     def _serve(self, request: HttpRequest) -> HttpResponse:
+        """Run the pipeline: short-circuiting stages, then deliver."""
+        state = PipelineState(request)
         try:
-            response = self._handle(request)
+            for stage in self._stages:
+                stage(state)
+                if state.response is not None:
+                    break
         except ReproError as exc:
             return HttpResponse(
                 status=500,
                 body=f"Internal error: {exc}",
                 content_type="text/plain",
             )
-        return self._finalize(request, response)
+        return self._stage_deliver(state)
 
     def _status_response(self, request: HttpRequest) -> HttpResponse:
         """The built-in observability page: what the application knows
@@ -197,33 +239,55 @@ class FrontController:
             content_type="text/plain",
         )
 
-    def _handle(self, request: HttpRequest) -> HttpResponse:
+    # -- stage: route ---------------------------------------------------------
+
+    def _stage_route(self, state: PipelineState) -> None:
+        """Bind the session and resolve the path to an action mapping."""
+        request = state.request
         self.requests_served += 1
         session = self.sessions.get_or_create(request.session_id)
         request.session_id = session.id
+        state.session = session
 
         # "/" or "/<siteview>" land on the site view's home page.
         if request.path == "/" or (
             not self.controller.has_path(request.path)
             and request.path.count("/") == 1
         ):
-            return self._home_redirect(request)
+            state.response = self._home_redirect(request)
+            return
 
         try:
-            mapping = self.controller.resolve(request.path)
+            state.mapping = self.controller.resolve(request.path)
         except ControllerError:
-            return HttpResponse.not_found(request.path)
+            state.response = HttpResponse.not_found(request.path)
 
+    # -- stage: protect -------------------------------------------------------
+
+    def _stage_protect(self, state: PipelineState) -> None:
+        """Enforce site-view protection before any action runs."""
+        mapping = state.mapping
+        session = state.session
         home = self.controller.homes.get(mapping.site_view_id)
         if home is not None and home.requires_login and not session.is_authenticated:
             if not mapping.public and not self._is_login_operation(mapping):
-                return HttpResponse.forbidden(
+                state.response = HttpResponse.forbidden(
                     f"site view {mapping.site_view_id} requires login"
                 )
 
+    # -- stage: execute -------------------------------------------------------
+
+    def _stage_execute(self, state: PipelineState) -> None:
+        """Run the mapped action (through the page cache for GET pages)."""
+        mapping = state.mapping
+        request = state.request
+        session = state.session
         if mapping.action_type == "PageAction":
             if self.page_cache is not None and request.method == "GET":
-                return self._respond_from_page_cache(mapping, request, session)
+                state.response = self._respond_from_page_cache(
+                    mapping, request, session
+                )
+                return
             with span("mvc.action", tier="mvc", action="page",
                       page=mapping.page_id):
                 outcome = self.page_action.perform(mapping, request, session)
@@ -235,7 +299,14 @@ class FrontController:
                 )
         else:
             raise ControllerError(f"unknown action type {mapping.action_type!r}")
-        return self._respond(outcome, request, session)
+        state.response = self._respond(outcome, request, session)
+
+    # -- stage: deliver -------------------------------------------------------
+
+    def _stage_deliver(self, state: PipelineState) -> HttpResponse:
+        """Conditional and compressed delivery for every 200 HTML GET
+        (the shared edge policy — see :mod:`repro.httpcore.delivery`)."""
+        return finalize_delivery(state.request, state.response)
 
     def _is_login_operation(self, mapping) -> bool:
         if mapping.action_type != "OperationAction":
@@ -260,24 +331,29 @@ class FrontController:
 
     # -- level-0 page cache ---------------------------------------------------
 
-    def _respond_from_page_cache(self, mapping, request: HttpRequest,
-                                 session) -> HttpResponse:
-        """Serve a GET page from the whole-response cache.
-
-        The key captures everything that may legally change the bytes:
-        the page, the canonicalized parameters, the device class the
-        presentation tier would select, and the authenticated
-        principal.  A miss single-flights the full action + view path
-        and stores the response with the union of the page's unit
-        dependency sets, so operation writes invalidate exactly the
-        dependent pages.
-        """
-        key = (
+    def _page_key(self, mapping: ActionMapping, request: HttpRequest,
+                  session) -> tuple:
+        """The page-cache key: everything that may legally change the
+        bytes — the page, the canonicalized parameters, the device
+        class the presentation tier would select, and the
+        authenticated principal."""
+        return (
             mapping.page_id,
             canonical_params(request.params),
             self.device_classifier(request.user_agent),
             f"user:{session.user_oid}" if session.is_authenticated else "anon",
         )
+
+    def _respond_from_page_cache(self, mapping, request: HttpRequest,
+                                 session) -> HttpResponse:
+        """Serve a GET page from the whole-response cache.
+
+        A miss single-flights the full action + view path and stores
+        the response with the union of the page's unit dependency
+        sets, so operation writes invalidate exactly the dependent
+        pages.
+        """
+        key = self._page_key(mapping, request, session)
 
         built_fresh = False
 
@@ -303,21 +379,140 @@ class FrontController:
                       page=mapping.page_id) as probe:
                 entry = self.page_cache.get_or_build(key, build)
                 probe.tags["hit"] = not built_fresh
-        cache_control = self._cache_control(session)
-        if self._etag_matches(request.headers.get("If-None-Match"), entry.etag):
-            return HttpResponse.not_modified(
-                entry.etag, {"Cache-Control": cache_control}
-            )
-        response = HttpResponse(
-            status=200, body=entry.body,
-            headers={"ETag": entry.etag, "Cache-Control": cache_control},
-        )
-        if (self._accepts_gzip(request)
-                and len(entry.body) >= self.GZIP_MIN_BYTES):
-            response.encoded_body = entry.gzip_body
-            response.headers["Content-Encoding"] = "gzip"
-            response.headers["Vary"] = "Accept-Encoding"
+        return entry_response(entry, request, self._cache_control(session))
+
+    # -- the edge fast path ---------------------------------------------------
+
+    def probe_cached(self, request: HttpRequest) -> HttpResponse | None:
+        """Answer a GET page request purely from the page cache, or
+        return ``None``.
+
+        This is the async edge's inline path: a stored entry becomes a
+        200 (precomputed gzip) or a 304 without running any action,
+        render, or digest — bounded, lock-cheap work an event loop can
+        afford.  Anything requiring computation (cache miss, redirect,
+        protection failure, operation, ``/_status``) returns ``None``
+        and takes the full :meth:`handle` path on a worker.  Served
+        responses are counted exactly like :meth:`handle`'s
+        (``requests_served`` + per-status counts); tracing never
+        samples inline hits — the traced path is the one that does
+        work.
+        """
+        if (self.page_cache is None or request.method != "GET"
+                or request.path == self.STATUS_PATH):
+            return None
+        mapping = self.controller.mappings.get(request.path)
+        if mapping is None or mapping.action_type != "PageAction":
+            return None
+        session = self.sessions.get_or_create(request.session_id)
+        request.session_id = session.id
+        home = self.controller.homes.get(mapping.site_view_id)
+        if (home is not None and home.requires_login
+                and not session.is_authenticated and not mapping.public):
+            return None  # the full pipeline produces the 403
+        entry = self.page_cache.peek(self._page_key(mapping, request, session))
+        if entry is None:
+            return None
+        self.requests_served += 1
+        response = entry_response(entry, request, self._cache_control(session))
+        self.status_counts[response.status] += 1
         return response
+
+    # -- the streaming path ---------------------------------------------------
+
+    def handle_streaming(self, request: HttpRequest) -> StreamedPage | None:
+        """Serve a GET page as a chunk stream, or return ``None``.
+
+        The stream's head (status + headers) is available immediately;
+        the compiled template's leading static markup streams before
+        the page action runs, and each dynamic slot follows as it
+        renders (fragment-cache hits splice instantly).  Requirements:
+        a view renderer exposing ``stream_chunks`` (the presentation
+        tier's compiled templates) and a page-cache *miss* — hits and
+        everything non-streamable return ``None`` so the caller falls
+        back to :meth:`probe_cached`/:meth:`handle`.
+
+        Cache integration mirrors the buffered path: the stream holds
+        the page's single-flight slot while rendering (concurrent
+        misses wait, then reuse the stored entry) and the finished
+        body is stored unless an invalidation raced the build
+        (generation guard).  Closing the iterator early — a client
+        disconnect — releases the slot without storing.  A streamed
+        response carries no ``ETag``: a validator needs the complete
+        body, which revisits get from the stored entry.
+        """
+        stream_chunks = getattr(self.view_renderer, "stream_chunks", None)
+        if (stream_chunks is None or request.method != "GET"
+                or request.path == self.STATUS_PATH):
+            return None
+        mapping = self.controller.mappings.get(request.path)
+        if mapping is None or mapping.action_type != "PageAction":
+            return None
+        session = self.sessions.get_or_create(request.session_id)
+        request.session_id = session.id
+        home = self.controller.homes.get(mapping.site_view_id)
+        if (home is not None and home.requires_login
+                and not session.is_authenticated and not mapping.public):
+            return None
+
+        key = None
+        generation = None
+        if self.page_cache is not None:
+            key = self._page_key(mapping, request, session)
+            if self.page_cache.peek(key) is not None:
+                return None  # a stored entry serves faster than a stream
+            if not self.page_cache.begin_flight(key):
+                return None  # another request is building: wait via handle()
+            generation = self.page_cache.generation
+
+        def page_result_factory():
+            with span("mvc.action", tier="mvc", action="page",
+                      page=mapping.page_id):
+                return self.page_action.perform(
+                    mapping, request, session
+                ).page_result
+
+        try:
+            raw_chunks = stream_chunks(
+                mapping.page_id, request, self.controller,
+                page_result_factory,
+            )
+        except ReproError:
+            if key is not None:
+                self.page_cache.finish_flight(key)
+            return None  # no template for the page: the full path 500s
+
+        def chunks():
+            produced: list[str] = []
+            completed = False
+            try:
+                for chunk in raw_chunks:
+                    produced.append(chunk)
+                    yield chunk
+                completed = True
+            finally:
+                if key is not None:
+                    try:
+                        if completed:
+                            entities, roles = self._page_dependencies(
+                                mapping.page_id
+                            )
+                            entry = self.page_cache.make_entry(
+                                "".join(produced), entities, roles
+                            )
+                            self.page_cache.put_if_current(
+                                key, entry, generation
+                            )
+                    finally:
+                        self.page_cache.finish_flight(key)
+
+        self.requests_served += 1
+        self.status_counts[200] += 1
+        response = HttpResponse(
+            status=200, body="",
+            headers={"Cache-Control": self._cache_control(session)},
+        )
+        return StreamedPage(response=response, chunks=chunks())
 
     def _page_dependencies(self, page_id: str) -> tuple[set, set]:
         """The union of the §6 dependency sets of the page's units."""
@@ -331,59 +526,8 @@ class FrontController:
         return entities, roles
 
     def _cache_control(self, session) -> str:
-        """Derived from the cache policy: a TTL becomes ``max-age``,
-        model-driven entries must revalidate (the ETag makes that a
-        304)."""
-        scope = "private" if session.is_authenticated else "public"
         ttl = self.page_cache.ttl_seconds if self.page_cache is not None else None
-        if ttl:
-            return f"{scope}, max-age={int(ttl)}"
-        return f"{scope}, no-cache"
-
-    # -- conditional HTTP -----------------------------------------------------
-
-    def _finalize(self, request: HttpRequest,
-                  response: HttpResponse) -> HttpResponse:
-        """Conditional and compressed delivery for every 200 HTML GET.
-
-        Page-cache responses arrive with their validator and encoding
-        already attached (precomputed at store time); everything else
-        is digested and negotiated here.
-        """
-        if (request.method != "GET" or response.status != 200
-                or response.content_type != "text/html"):
-            return response
-        etag = response.headers.get("ETag")
-        if etag is None:
-            etag = content_etag(response.body)
-            response.headers["ETag"] = etag
-        response.headers.setdefault("Cache-Control", "no-cache")
-        if self._etag_matches(request.headers.get("If-None-Match"), etag):
-            return HttpResponse.not_modified(
-                etag, {"Cache-Control": response.headers["Cache-Control"]}
-            )
-        if ("Content-Encoding" not in response.headers
-                and self._accepts_gzip(request)
-                and len(response.body) >= self.GZIP_MIN_BYTES):
-            response.encoded_body = gzip.compress(
-                response.body.encode(), mtime=0
-            )
-            response.headers["Content-Encoding"] = "gzip"
-            response.headers["Vary"] = "Accept-Encoding"
-        return response
-
-    @staticmethod
-    def _etag_matches(if_none_match: str | None, etag: str) -> bool:
-        if not if_none_match:
-            return False
-        if if_none_match.strip() == "*":
-            return True
-        candidates = [c.strip() for c in if_none_match.split(",")]
-        return etag in candidates
-
-    @staticmethod
-    def _accepts_gzip(request: HttpRequest) -> bool:
-        return "gzip" in request.headers.get("Accept-Encoding", "")
+        return cache_control_for(session.is_authenticated, ttl)
 
     def _respond(self, outcome: ActionOutcome, request: HttpRequest,
                  session) -> HttpResponse:

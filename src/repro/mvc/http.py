@@ -24,6 +24,9 @@ class HttpRequest:
     method: str = "GET"
     headers: dict = field(default_factory=dict)
     session_id: str | None = None
+    #: protocol version of the wire request; in-process requests keep
+    #: the 1.1 default (keep-alive semantics live in repro.httpcore)
+    http_version: str = "HTTP/1.1"
 
     @classmethod
     def from_url(cls, url: str, method: str = "GET",

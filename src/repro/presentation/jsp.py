@@ -216,6 +216,34 @@ class PageTemplate:
             for part in program
         )
 
+    def render_chunks(self, context_factory):
+        """Generate the page as ordered HTML chunks (the streaming
+        delivery mode).
+
+        ``context_factory`` is called lazily, at the first dynamic
+        slot — so every static segment *before* it (doctype, head,
+        navigation shell) is yielded before the page's unit services
+        run.  That prefix is what a streaming edge puts on the wire
+        while the model tier computes; fragment-cache hits then splice
+        mid-stream at string-copy cost.
+
+        The concatenation of the chunks is byte-identical to
+        :meth:`render` of the same context — the buffered path is the
+        oracle, and the page cache stores the joined stream under the
+        same key as a buffered build.
+        """
+        program = self._program
+        if program is None:
+            program = self.compile()
+        context = None
+        for part in program:
+            if isinstance(part, str):
+                yield part
+            else:
+                if context is None:
+                    context = context_factory()
+                yield part.render(context)
+
     def compile(self) -> list:
         """Flatten the template tree into the segment/slot program.
 

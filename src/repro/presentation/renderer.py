@@ -122,3 +122,26 @@ class PresentationRenderer:
             page_result, controller, request, self.fragment_cache
         )
         return template.render(context)
+
+    def stream_chunks(self, page_id: str, request, controller,
+                      page_result_factory):
+        """The streaming face of the view-renderer contract.
+
+        Resolves the template *eagerly* (so a missing page raises here,
+        before any byte is promised to a client) and returns a chunk
+        iterator whose join equals :meth:`__call__`'s output for the
+        same page result.  ``page_result_factory`` runs lazily at the
+        first dynamic slot — the template's static prefix streams while
+        the unit services have not yet been asked for anything.
+        """
+        template = self.template_for(
+            page_id, user_agent=request.user_agent if request else "",
+        )
+
+        def context_factory():
+            return RenderContext(
+                page_result_factory(), controller, request,
+                self.fragment_cache,
+            )
+
+        return template.render_chunks(context_factory)
