@@ -206,4 +206,23 @@ def test_e14_report():
         note=f"{batching['t_naive'] / batching['t_batched']:.1f}x faster"
              f" at {IO_DELAY * 1e3:.0f} ms simulated wire delay",
     )
-    save_report(report)
+    save_report(report, json_payload={
+        "fast_mode": FAST,
+        "books": BOOKS,
+        "plans": {
+            label: {
+                "naive_seconds": t_naive,
+                "optimized_seconds": t_opt,
+                "speedup": speedup,
+            }
+            for label, t_naive, t_opt, speedup in plans["rows"]
+        },
+        "batching": {
+            "issues": batching["issues"],
+            "queries_batched": batching["queries_batched"],
+            "queries_naive": batching["queries_naive"],
+            "batched_seconds": batching["t_batched"],
+            "naive_seconds": batching["t_naive"],
+            "speedup": batching["t_naive"] / batching["t_batched"],
+        },
+    })

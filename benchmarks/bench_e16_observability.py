@@ -261,4 +261,21 @@ def test_e16_report():
         f"(threshold {doc['slow_query_log']['threshold_ms']} ms)",
         note="slow entries carry the planner's chosen access path",
     )
-    save_report(report)
+    save_report(report, json_payload={
+        "fast_mode": FAST,
+        "overhead": {
+            "base_p50_ms": overhead["base_p50_ms"],
+            "instrumented_p50_ms": overhead["instrumented_p50_ms"],
+            "overhead_fraction": overhead["overhead"],
+            "bound_fraction": OVERHEAD_BOUND - 1.0,
+        },
+        "status": {
+            "cache_hits": {
+                level: external[f"cache.{level}"]["hits"]
+                for level in ("bean", "fragment", "page")
+            },
+            "pool_waits": external["rdb.pool"]["wait_count"],
+            "slow_queries_recorded":
+                doc["slow_query_log"]["recorded_total"],
+        },
+    })

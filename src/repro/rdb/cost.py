@@ -60,11 +60,30 @@ INDEX_PROBE_COST = 1.0
 HASH_BUILD_COST = 1.0
 HASH_PROBE_COST = 1.0
 
+#: columnar batch execution (repro.rdb.columnar): binding kernels and
+#: consulting the column store costs a flat setup fee, after which each
+#: row is touched through a C-speed comprehension — a fraction of the
+#: unit cost a row-at-a-time scan pays per row
+COLUMNAR_SETUP_COST = 64.0
+COLUMNAR_ROW_COST = 0.25
+
 _MIN_SELECTIVITY = 1e-4
 
 
 def clamp(selectivity: float) -> float:
     return max(_MIN_SELECTIVITY, min(1.0, selectivity))
+
+
+def columnar_scan_cost(live_rows: int) -> float:
+    """Estimated cost of scanning ``live_rows`` through batch kernels."""
+    return COLUMNAR_SETUP_COST + live_rows * COLUMNAR_ROW_COST
+
+
+def prefer_columnar(live_rows: int) -> bool:
+    """Whether a sequential scan over ``live_rows`` is cheaper columnar
+    than row-at-a-time (whose cost is one unit per row).  Small tables
+    stay on the row path: the kernel-binding setup fee dominates them."""
+    return columnar_scan_cost(live_rows) < float(live_rows)
 
 
 def _column_of(expr: Expr) -> str | None:

@@ -50,6 +50,9 @@ class DatabaseStats(AtomicCounters):
     #: selects served by a compiled (or mixed) plan vs the interpreter
     selects_compiled: int = 0
     selects_interpreted: int = 0
+    #: selects served by the columnar batch pipeline (a subset of
+    #: neither of the above: the three buckets partition ``selects``)
+    selects_columnar: int = 0
     #: selects whose SQL text hit the plan cache before parsing
     prepared_reuse: int = 0
     inserts: int = 0
@@ -64,6 +67,7 @@ class DatabaseStats(AtomicCounters):
         self.selects = 0
         self.selects_compiled = 0
         self.selects_interpreted = 0
+        self.selects_columnar = 0
         self.prepared_reuse = 0
         self.inserts = 0
         self.updates = 0
@@ -137,6 +141,7 @@ class Database:
         self._compile_stats = {
             "plans_compiled": 0,
             "plans_interpreted": 0,
+            "plans_columnar": 0,
             "expr_fallbacks": 0,
             "compile_seconds_total": 0.0,
         }
@@ -234,6 +239,7 @@ class Database:
             "selects": self.stats.selects,
             "selects_compiled": self.stats.selects_compiled,
             "selects_interpreted": self.stats.selects_interpreted,
+            "selects_columnar": self.stats.selects_columnar,
             "prepared_reuse": self.stats.prepared_reuse,
             "inserts": self.stats.inserts,
             "updates": self.stats.updates,
@@ -242,12 +248,51 @@ class Database:
             "plan_cache_size": len(self._plan_cache),
             "plans_compiled": compile_stats["plans_compiled"],
             "plans_interpreted": compile_stats["plans_interpreted"],
+            "plans_columnar": compile_stats["plans_columnar"],
             "compile_fallback_exprs": compile_stats["expr_fallbacks"],
             "compile_ms_total": round(
                 compile_stats["compile_seconds_total"] * 1000.0, 3
             ),
+            "columnar": self._columnar_stats(),
             "slow_queries": self.slow_log.stats(),
         }
+
+    def _columnar_stats(self) -> dict:
+        """Column-store health across tables, for ``/_status``: how many
+        stores are materialized, scan/batch volume, the dictionary
+        encoding hit ratio, and the current/worst column-sync lag."""
+        totals = {
+            "tables_built": 0,
+            "scans": 0,
+            "batches_scanned": 0,
+            "rebuilds": 0,
+            "dropped_rebuilds": 0,
+            "synced_ops": 0,
+            "pending_ops": 0,
+            "max_pending": 0,
+            "dict_columns": 0,
+        }
+        dict_hits = dict_misses = 0
+        for store in list(self.tables.values()):
+            snapshot = store.column_store.stats()
+            totals["tables_built"] += 1 if snapshot["built"] else 0
+            totals["scans"] += snapshot["scans"]
+            totals["batches_scanned"] += snapshot["batches_scanned"]
+            totals["rebuilds"] += snapshot["builds"] + snapshot["rebuilds"]
+            totals["dropped_rebuilds"] += snapshot["dropped_rebuilds"]
+            totals["synced_ops"] += snapshot["synced_ops"]
+            totals["pending_ops"] += snapshot["pending_ops"]
+            totals["max_pending"] = max(
+                totals["max_pending"], snapshot["max_pending"]
+            )
+            totals["dict_columns"] += snapshot["dict_columns"]
+            dict_hits += snapshot["dict_hits"]
+            dict_misses += snapshot["dict_misses"]
+        encoded = dict_hits + dict_misses
+        totals["dict_hit_ratio"] = (
+            round(dict_hits / encoded, 4) if encoded else None
+        )
+        return totals
 
     def _note_plan_built(self, plan: SelectPlan) -> SelectPlan:
         """Record one plan construction in the compile accounting."""
@@ -255,6 +300,8 @@ class Database:
         if plan.exec_mode == "interpreted":
             stats["plans_interpreted"] += 1
         else:
+            if plan.exec_mode == "columnar":
+                stats["plans_columnar"] += 1
             stats["plans_compiled"] += 1
             stats["compile_seconds_total"] += plan.compile_seconds
             if plan.compile_stats is not None:
@@ -515,10 +562,12 @@ class Database:
             plan = self._plan(statement, cache_key)
             result = plan.execute(params)
         self.stats.increment("selects")
-        self.stats.increment(
-            "selects_interpreted" if plan.exec_mode == "interpreted"
-            else "selects_compiled"
-        )
+        if plan.exec_mode == "interpreted":
+            self.stats.increment("selects_interpreted")
+        elif plan.exec_mode == "columnar":
+            self.stats.increment("selects_columnar")
+        else:
+            self.stats.increment("selects_compiled")
         self.stats.increment("rows_read", len(result))
         self._observe_statement(
             "select", started,
@@ -579,14 +628,20 @@ class Database:
         return self.prepare(sql).explain()
 
     def prepare(self, sql: str, optimize: bool = True,
-                compiled: bool | None = None) -> SelectPlan:
+                compiled: bool | None = None,
+                columnar: bool | None = None) -> SelectPlan:
         """Compile a SELECT once for repeated execution (generic
         services).  ``optimize=False`` builds the naive seed plan — full
         scans, declared join order, interpreted evaluation — bypassing
         the plan cache; E14 uses it as the before/after baseline.
         ``compiled=False`` builds the *optimized* plan but keeps
         expression evaluation interpreted (also uncached) — E17's
-        apples-to-apples baseline for the compilation layer alone."""
+        apples-to-apples baseline for the compilation layer alone.
+        ``columnar`` overrides the cost model's layout choice: ``True``
+        forces the batch pipeline when the plan shape allows it,
+        ``False`` pins row execution (both uncached, like the other
+        baseline modes); ``None`` lets the cost model decide and caches
+        normally — E20 and the four-way oracle drive all four modes."""
         statement = parse_sql(sql)
         if not isinstance(statement, Select):
             raise QueryError(f"prepare() only accepts SELECT: {sql!r}")
@@ -594,9 +649,10 @@ class Database:
             return self._note_plan_built(
                 SelectPlan(statement, self.tables, optimize=False)
             )
-        if compiled is False:
+        if compiled is False or columnar is not None:
             return self._note_plan_built(
-                SelectPlan(statement, self.tables, compiled=False)
+                SelectPlan(statement, self.tables, compiled=compiled,
+                           columnar=columnar)
             )
         return self._plan(statement, sql)
 

@@ -526,13 +526,22 @@ def compute_aggregate(
             )
             if value is not None:
                 values.append(value)
-    if call.distinct:
+    return reduce_aggregate(call.func, call.distinct, values)
+
+
+def reduce_aggregate(func: str, distinct: bool, values: list):
+    """Fold gathered non-NULL aggregate inputs into the final value.
+
+    Shared by row execution (above) and the columnar gatherers
+    (:mod:`repro.rdb.columnar`), so DISTINCT semantics and the reduce
+    order cannot diverge between execution modes.
+    """
+    if distinct:
         seen = []
         for value in values:
             if not any(compare_values(value, s) == 0 for s in seen):
                 seen.append(value)
         values = seen
-    func = call.func
     if func == "COUNT":
         return len(values)
     if not values:

@@ -62,6 +62,7 @@ from repro.rdb.expr import (
     InList,
     Literal,
 )
+from repro.rdb.columnar import build_columnar_pipeline
 from repro.rdb.sqlparser import Select
 from repro.rdb.storage import TableStore
 from repro.util import unique_name
@@ -92,7 +93,8 @@ def _constant(expr: Expr) -> bool:
 
 class SelectPlan:
     def __init__(self, select: Select, stores: Mapping[str, TableStore],
-                 optimize: bool = True, compiled: bool | None = None):
+                 optimize: bool = True, compiled: bool | None = None,
+                 columnar: bool | None = None):
         self.select = select
         self.stores = stores
         self.optimize = optimize
@@ -125,14 +127,32 @@ class SelectPlan:
         self.compile_stats: dict[str, int] | None = None
         self.compile_seconds = 0.0
         self.exec_mode = "interpreted"
+        #: batch pipeline (repro.rdb.columnar) when the cost model picks
+        #: column-major execution for this plan; None runs row-at-a-time
+        self.columnar_pipeline = None
         if optimize if compiled is None else compiled:
             started = time.perf_counter()
             self.compile_stats = compile_plan(self)
-            self.compile_seconds = time.perf_counter() - started
             self.exec_mode = (
                 "compiled" if self.compile_stats["interpreted"] == 0
                 else "mixed"
             )
+            # Layout choice: ``columnar=True`` forces the batch path
+            # (tests/oracles), ``False`` pins row execution, ``None``
+            # lets the cost model decide — columnar pays off on wide
+            # sequential scans, never on index point lookups (which
+            # keep access.kind != "seq" and are skipped here).  The
+            # decision is made once and cached with the plan.
+            want = columnar
+            if want is None and isinstance(self.root, ScanOp) \
+                    and self.root.access.kind == "seq":
+                live = len(self.root.store.rows) or 10
+                want = cost.prefer_columnar(live)
+            if want:
+                self.columnar_pipeline = build_columnar_pipeline(self)
+                if self.columnar_pipeline is not None:
+                    self.exec_mode = "columnar"
+            self.compile_seconds = time.perf_counter() - started
 
     def _collect_wanted_aggregates(self) -> list[AggregateCall]:
         """Every aggregate any clause needs, in evaluation order."""
@@ -928,7 +948,9 @@ class SelectPlan:
         params = dict(params or {})
         select = self.select
 
-        if self.grouped:
+        if self.columnar_pipeline is not None:
+            produced = self.columnar_pipeline.execute(params)
+        elif self.grouped:
             produced = self._execute_grouped(params)
         elif self.compiled_row_emit is not None:
             produced = self._execute_fused(params)
@@ -1060,14 +1082,22 @@ class SelectPlan:
                 group[0] if group
                 else {b: None for b in self.columns_by_binding}
             )
-            scope = RowScope(representative, self.columns_by_binding)
-            if select.having is not None:
-                verdict = substitute_aggregates(
-                    select.having, aggregate_values
-                ).evaluate(scope, params)
-                if verdict is not True:
-                    continue
-            out_row = self._project_row(
-                scope, representative, params, aggregate_values
-            )
-            yield out_row, self._order_keys(scope, out_row, params, aggregate_values)
+            yield from self._emit_group(representative, aggregate_values, params)
+
+    def _emit_group(self, representative: Bindings,
+                    aggregate_values: dict, params: dict):
+        """The per-group tail shared by row and columnar grouped
+        execution: HAVING verdict, projection, ORDER BY keys.  Yields
+        zero or one ``(out_row, keys)`` pairs."""
+        select = self.select
+        scope = RowScope(representative, self.columns_by_binding)
+        if select.having is not None:
+            verdict = substitute_aggregates(
+                select.having, aggregate_values
+            ).evaluate(scope, params)
+            if verdict is not True:
+                return
+        out_row = self._project_row(
+            scope, representative, params, aggregate_values
+        )
+        yield out_row, self._order_keys(scope, out_row, params, aggregate_values)

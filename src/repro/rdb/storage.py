@@ -13,6 +13,7 @@ from __future__ import annotations
 import bisect
 
 from repro.errors import IntegrityError, SchemaError
+from repro.rdb.columnar import ColumnStore
 from repro.rdb.schema import Index, TableSchema
 
 
@@ -198,6 +199,9 @@ class TableStore:
         #: snapshot written by ANALYZE (see repro.rdb.statistics);
         #: None until the table has been analyzed.
         self.statistics = None
+        #: lazily built column-major mirror (repro.rdb.columnar); the
+        #: mutators below feed it O(1) sync records once it exists
+        self.column_store = ColumnStore(self)
         self._indexes: dict[str, _HashIndex] = {}
         if schema.primary_key:
             self._indexes["#pk"] = _HashIndex(schema.primary_key, unique=True)
@@ -279,6 +283,7 @@ class TableStore:
         self.rows[row_id] = row
         for index in self._indexes.values():
             index.add(row_id, row)
+        self.column_store.note_insert(row_id, row)
         return row_id
 
     def update_row(self, row_id: int, changes: dict) -> dict:
@@ -297,12 +302,14 @@ class TableStore:
             index.remove(row_id, old)
             index.add(row_id, new)
         self.rows[row_id] = new
+        self.column_store.note_update(row_id, new)
         return new
 
     def delete_row(self, row_id: int) -> dict:
         row = self.rows.pop(row_id)
         for index in self._indexes.values():
             index.remove(row_id, row)
+        self.column_store.note_delete(row_id)
         return row
 
     # -- transaction support (no checks: restoring a prior state) ----------
@@ -312,6 +319,9 @@ class TableStore:
         self.rows[row_id] = row
         for index in self._indexes.values():
             index.add(row_id, row)
+        # a re-inserted key appends at the end of the rows dict, which is
+        # exactly where the columnar sync puts it
+        self.column_store.note_insert(row_id, row)
         self._next_row_id = max(self._next_row_id, row_id + 1)
 
     # -- durability support (WAL replay and snapshots) ---------------------
@@ -345,6 +355,7 @@ class TableStore:
             index.remove(row_id, old)
             index.add(row_id, row)
         self.rows[row_id] = row
+        self.column_store.note_update(row_id, row)
 
     # -- lookups ------------------------------------------------------------------
 

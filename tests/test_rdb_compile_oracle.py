@@ -1,13 +1,17 @@
-"""Property-based oracle for compiled query execution.
+"""Property-based oracle for compiled and columnar query execution.
 
-The compiler (``repro.rdb.compile``) must be *invisible*: for any
-query the planner accepts, the compiled plan has to return exactly the
-rows — values, column names, and order — that the same plan returns
-with compilation switched off (``prepare(sql, compiled=False)``), and
-the same multiset of rows the seed interpreter returns
+The compiler (``repro.rdb.compile``) and the columnar batch pipeline
+(``repro.rdb.columnar``) must be *invisible*: for any query the planner
+accepts, four executions of the same SQL have to agree byte-for-byte —
+the columnar plan (``prepare(sql, columnar=True)``), the compiled-row
+plan, the same plan with compilation switched off
+(``prepare(sql, compiled=False)``), and the seed interpreter
 (``prepare(sql, optimize=False)``).  Hypothesis assembles random
 projections, predicates, joins, groupings, and orderings over a
-NULL-heavy catalogue and holds all three executions to that contract.
+NULL-heavy catalogue and holds all four executions to that contract.
+(The catalogue sits below the cost model's columnar threshold, so the
+columnar mode is *forced* — the point is semantics, not the layout
+decision, which ``tests/test_rdb_columnar.py`` covers.)
 """
 
 from __future__ import annotations
@@ -161,6 +165,7 @@ class TestCompiledOracle:
     def test_compiled_equals_interpreted(self, sql):
         for db in self._databases():
             compiled = db.prepare(sql)
+            columnar = db.prepare(sql, columnar=True)
             interpreted = db.prepare(sql, compiled=False)
             seed = db.prepare(sql, optimize=False)
             assert compiled.exec_mode in ("compiled", "mixed")
@@ -170,6 +175,11 @@ class TestCompiledOracle:
             assert got.columns == want.columns
             # same plan either way: identical rows in identical order
             assert got.as_tuples() == want.as_tuples()
+            # the batch pipeline (when the plan shape allows it — joins
+            # and index paths stay on the row engine) agrees exactly
+            batch = columnar.execute(PARAMS)
+            assert batch.columns == got.columns
+            assert batch.as_tuples() == got.as_tuples()
             # the seed interpreter agrees — exactly when the ORDER BY
             # pins a total order (tie order is otherwise a plan detail,
             # and LIMIT over ties may keep different rows)
@@ -186,3 +196,68 @@ class TestCompiledOracle:
                 )
             else:
                 assert len(got) == len(naive)
+
+
+def _four_way(db: Database, sql: str, params: dict | None = None):
+    """Execute ``sql`` in all four modes; returns the identical tuples
+    (asserting the identity on the way)."""
+    plans = [
+        db.prepare(sql, columnar=True),
+        db.prepare(sql),
+        db.prepare(sql, compiled=False),
+        db.prepare(sql, optimize=False),
+    ]
+    results = [plan.execute(params or {}) for plan in plans]
+    for other in results[1:]:
+        assert other.columns == results[0].columns
+        assert other.as_tuples() == results[0].as_tuples()
+    return results[0].as_tuples()
+
+
+class TestFourWayEdges:
+    """Deterministic four-way identities the random generator cannot
+    guarantee to hit: empty tables and mid-transaction reads of
+    uncommitted writes."""
+
+    def test_empty_table(self):
+        db = Database()
+        db.execute(
+            "CREATE TABLE t (oid INTEGER NOT NULL AUTOINCREMENT,"
+            " name VARCHAR(20), n INTEGER, PRIMARY KEY (oid))"
+        )
+        assert _four_way(db, "SELECT name, n FROM t WHERE n > 3") == []
+        # aggregates over an empty table still produce their one row
+        assert _four_way(
+            db, "SELECT COUNT(*), SUM(n), MIN(name) FROM t"
+        ) == [(0, None, None)]
+        assert _four_way(
+            db, "SELECT name, COUNT(*) FROM t GROUP BY name"
+        ) == []
+
+    def test_mid_transaction_uncommitted_reads(self):
+        db = _catalogue()
+        sql = ("SELECT title, price FROM book b"
+               " WHERE b.year IS NOT NULL AND b.price > :lo"
+               " ORDER BY b.oid")
+        agg = ("SELECT b.year AS y, COUNT(*) AS n, AVG(b.price) AS ap"
+               " FROM book b GROUP BY b.year ORDER BY y")
+        before = _four_way(db, sql, PARAMS)
+        db.begin()
+        try:
+            db.execute("UPDATE book SET price = price + 100"
+                       " WHERE year = 1995")
+            db.insert_row("book", {
+                "author_oid": 1, "year": 1995, "price": 77.0,
+                "title": "book-tx",
+            })
+            db.execute("DELETE FROM book WHERE title = 'book-00'")
+            # the transaction's own reads see its uncommitted writes,
+            # identically in all four modes
+            during = _four_way(db, sql, PARAMS)
+            assert during != before
+            _four_way(db, agg, PARAMS)
+        finally:
+            db.rollback()
+        # rollback restores the pre-transaction answer in all modes
+        assert _four_way(db, sql, PARAMS) == before
+        _four_way(db, agg, PARAMS)
