@@ -142,7 +142,7 @@ def test_e10_report(benchmark):
     report.add("stale serves, flush-all", 0, flush_all["stale_serves"])
     report.add("stale serves, no invalidation", "> 0 (the danger)",
                ttl_only["stale_serves"])
-    save_report(report)
+    save_report(report, json_payload=report.rows_payload())
 
     assert model_driven["hit_rate"] > flush_all["hit_rate"]
     assert model_driven["stale_serves"] == 0

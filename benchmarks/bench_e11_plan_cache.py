@@ -88,6 +88,6 @@ def test_e11_report(benchmark):
                "slower (parse+plan per request)",
                f"{uncached * 1e6:.0f} us",
                note=f"{uncached / cached:.2f}x cached")
-    save_report(report)
+    save_report(report, json_payload=report.rows_payload())
 
     assert uncached > cached

@@ -60,7 +60,7 @@ def test_e12_generation_scales_linearly(benchmark):
     size_growth = largest["units"] / base["units"]
     report.add("time growth vs size growth (2x vs 0.25x)",
                "close to 1:1", f"{growth:.1f}x vs {size_growth:.1f}x")
-    save_report(report)
+    save_report(report, json_payload=report.rows_payload())
 
     # shape: per-unit cost must not explode as the model grows 8x
     base_per_unit = base["seconds"] / base["units"]

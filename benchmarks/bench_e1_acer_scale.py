@@ -43,7 +43,7 @@ def test_e1_full_scale_generation(benchmark, acer_model):
     report.add("generation wall time", "n/a",
                f"{project.generation_seconds:.2f}s",
                note="single laptop-class run")
-    save_report(report)
+    save_report(report, json_payload=report.rows_payload())
 
     assert stats["site_views"] == 22
     assert counts["page_templates"] == 556

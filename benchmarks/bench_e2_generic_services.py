@@ -60,7 +60,7 @@ def test_e2_artifact_population(benchmark, acer_model):
     report.add("generated service code (lines)", "n/a",
                conventional.total_loc(),
                note="what the conventional code base carries")
-    save_report(report)
+    save_report(report, json_payload=report.rows_payload())
 
     assert classes["page_service_classes"] == 556
     assert classes["unit_service_classes"] == 3068

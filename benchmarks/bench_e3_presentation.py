@@ -73,7 +73,7 @@ def test_e3_three_stylesheets_cover_all_pages(benchmark, acer_project):
     report.add("markup needing manual retouch", "< 5%",
                f"{retouch_fraction:.1%}")
     report.add("page grids left unstyled", 0, unstyled_grids)
-    save_report(report)
+    save_report(report, json_payload=report.rows_payload())
 
     assert styled_pages == 556
     assert retouch_fraction < 0.05

@@ -95,7 +95,7 @@ def test_e4_report(benchmark):
     report.add("device-adaptive runtime latency", "~= runtime",
                f"{adaptive * 1e3:.2f} ms",
                note=f"{adaptive / compile_time:.2f}x compile-time")
-    save_report(report)
+    save_report(report, json_payload=report.rows_payload())
 
     assert runtime > compile_time  # the paper's direction
     # adaptation costs roughly the runtime transformation, not more

@@ -151,7 +151,7 @@ def test_e5_report(benchmark):
                f"{fragment['latency'] * 1e3:.2f} ms")
     report.add("latency/request, two-level", "lowest",
                f"{two_level['latency'] * 1e3:.2f} ms")
-    save_report(report)
+    save_report(report, json_payload=report.rows_payload())
 
     assert two_level["queries"] < none["queries"]
     assert two_level["latency"] < none["latency"]

@@ -121,7 +121,7 @@ def test_e6_change_impact(benchmark, acer_model):
     report.add("MVC: controller config regenerated", 1, len(changed_configs))
     report.add("MVC: manual edits", 0, 0,
                note="re-link the diagram, regenerate")
-    save_report(report)
+    save_report(report, json_payload=report.rows_payload())
 
     assert moved > 100
     assert templates_to_edit > 100  # the template-based pain is real

@@ -107,7 +107,7 @@ def test_e7_idle_occupancy(benchmark):
                str(adaptive_samples))
     report.add("resident over schedule (static)", "flat",
                str(static_samples))
-    save_report(report)
+    save_report(report, json_payload=report.rows_payload())
 
     assert static_resident == CLONES * INSTANCES_PER_SERVICE * len(SERVICES)
     assert all(s == static_resident for s in static_samples)

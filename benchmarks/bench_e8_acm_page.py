@@ -72,7 +72,7 @@ def test_e8_volume_page_structure(benchmark, acm_figure1):
     report.add("nested paper lists", 4, paper_links)
     report.add("request latency", "n/a",
                f"{benchmark.stats['mean'] * 1e3:.2f} ms")
-    save_report(report)
+    save_report(report, json_payload=report.rows_payload())
 
     assert all(v for v in checks.values() if isinstance(v, bool))
     assert issue_rows == 4

@@ -99,7 +99,7 @@ def test_e9_report(benchmark):
                f"{overhead:+.1%}")
     report.add("classes to maintain for this page", "12 vs 4",
                "12 generic (app-wide) vs 4 dedicated (this page alone)")
-    save_report(report)
+    save_report(report, json_payload=report.rows_payload())
 
     # the trade must stay cheap: well under 2x
     assert generic < dedicated * 2

@@ -19,11 +19,24 @@ accessed by Web applications and other enterprise applications."
 - :mod:`repro.appserver.async_edge` — the event-loop edge: one thread
   owns every keep-alive connection, page-cache hits are served inline
   on the loop, computation runs on a bounded worker pool, cache-miss
-  pages stream chunked while their unit services compute.
+  pages stream chunked while their unit services compute;
+- :mod:`repro.appserver.fleet` — the process-per-core front end: a
+  supervisor runs the write primary and spawns worker subprocesses
+  (:mod:`repro.appserver.fleet_worker`) that each serve reads from
+  their own WAL-shipped replica, with read-your-writes via LSN wait
+  tokens.
 """
 
 from repro.appserver.async_edge import AsyncAppServer
 from repro.appserver.container import ComponentContainer, ComponentDescriptor
+from repro.appserver.fleet import (
+    LSN_HEADER,
+    MIN_LSN_HEADER,
+    FleetClient,
+    FleetSupervisor,
+    PrimaryLsnStamp,
+    ReplicaGate,
+)
 from repro.appserver.integration import deploy_business_tier
 from repro.appserver.servlet_tier import ServletTierDeployment
 from repro.appserver.threaded import ThreadedAppServer
@@ -32,6 +45,12 @@ __all__ = [
     "AsyncAppServer",
     "ComponentContainer",
     "ComponentDescriptor",
+    "FleetClient",
+    "FleetSupervisor",
+    "LSN_HEADER",
+    "MIN_LSN_HEADER",
+    "PrimaryLsnStamp",
+    "ReplicaGate",
     "ServletTierDeployment",
     "ThreadedAppServer",
     "deploy_business_tier",

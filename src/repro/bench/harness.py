@@ -40,6 +40,23 @@ class ExperimentReport:
     def add(self, metric: str, paper, measured, note: str = "") -> None:
         self.rows.append(_Row(metric, _fmt(paper), _fmt(measured), note))
 
+    def rows_payload(self) -> dict:
+        """The table as a JSON-ready payload, for ``save_report``.
+
+        Text-only experiments (no bespoke measured dict) pass this as
+        ``json_payload`` so every ``BENCH_<id>.json`` exists and carries
+        at least the rendered rows; values are the formatted strings the
+        table prints, which is what EXPERIMENTS.md quotes anyway.
+        """
+        return {
+            "paper_source": self.paper_source,
+            "rows": [
+                {"metric": r.metric, "paper": r.paper,
+                 "measured": r.measured, "note": r.note}
+                for r in self.rows
+            ],
+        }
+
     def render(self) -> str:
         headers = ("metric", "paper", "measured", "note")
         table = [headers] + [

@@ -60,6 +60,12 @@ class QueryError(DatabaseError):
     """A semantically invalid query (unknown column, bad aggregate use...)."""
 
 
+class ReplicationError(DatabaseError):
+    """WAL-shipping replication failure: a write on a read-only replica,
+    an out-of-order record (the stream lost its prefix), or a protocol
+    violation on the shipping socket."""
+
+
 # ---------------------------------------------------------------------------
 # Conceptual models
 # ---------------------------------------------------------------------------

@@ -19,6 +19,9 @@ Layering (each module only imports the ones above it):
 - :mod:`repro.rdb.engine` — the storage engine boundary: tables,
   transactions, the commit stream, and (``DurableEngine``) WAL +
   snapshot persistence with crash recovery,
+- :mod:`repro.rdb.replication` — WAL shipping: the primary-side
+  record shipper and the read-only ``ReplicaEngine`` fed by snapshot
+  bootstrap plus tail streaming (one write primary, N read replicas),
 - :mod:`repro.rdb.statistics` / :mod:`repro.rdb.cost` — ANALYZE
   snapshots and the selectivity/cost model they feed,
 - :mod:`repro.rdb.planner` / :mod:`repro.rdb.executor` — cost-based
@@ -37,6 +40,12 @@ from repro.rdb.engine import (
     DurableEngine,
     MemoryEngine,
     StorageEngine,
+)
+from repro.rdb.replication import (
+    ReplicaEngine,
+    ReplicationClient,
+    ReplicationServer,
+    open_replica,
 )
 from repro.rdb.schema import Column, ForeignKey, Index, TableSchema
 from repro.rdb.statistics import ColumnStatistics, TableStatistics
@@ -58,6 +67,10 @@ __all__ = [
     "DurableEngine",
     "CommitEvent",
     "CommitStream",
+    "ReplicaEngine",
+    "ReplicationClient",
+    "ReplicationServer",
+    "open_replica",
     "Connection",
     "Cursor",
     "ConnectionPool",

@@ -35,7 +35,33 @@ from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import current_span
 from repro.rdb.statistics import TableStatistics, collect_statistics
 from repro.rdb.storage import TableStore
+from repro.rdb.wal import (
+    OP_ANALYZE,
+    OP_CREATE_INDEX,
+    OP_CREATE_TABLE,
+    OP_DROP_TABLE,
+)
 from repro.util.concurrency import AtomicCounters, ReadWriteLock
+
+#: sentinel returned by :func:`_ddl_tables` when a replicated ANALYZE
+#: covered every table — the plan cache must be cleared wholesale
+ALL_TABLES = object()
+
+
+def _ddl_tables(ops) -> "set[str] | object":
+    """The tables whose cached plans a replicated record invalidates."""
+    tables: set[str] = set()
+    for op in ops:
+        opcode = op[0]
+        if opcode == OP_CREATE_TABLE:
+            tables.add(op[1].name)
+        elif opcode in (OP_CREATE_INDEX, OP_DROP_TABLE):
+            tables.add(op[1])
+        elif opcode == OP_ANALYZE:
+            if op[1] is None:
+                return ALL_TABLES
+            tables.add(op[1])
+    return tables
 
 
 @dataclass
@@ -120,6 +146,9 @@ class Database:
         self._plan_cache: dict[str, SelectPlan] = {}
         self._plan_lock = threading.Lock()
         self._rwlock = ReadWriteLock()
+        #: signalled whenever the engine's LSN advances by replication
+        #: apply; :meth:`wait_for_lsn` blocks on it (LSN wait tokens)
+        self._lsn_cond = threading.Condition()
         self._exec_local = threading.local()
         #: simulated network/disk round-trip per statement.  The paper's
         #: data tier is a separate machine; sleeping here (outside the
@@ -620,6 +649,81 @@ class Database:
     def cached_plan_count(self) -> int:
         with self._plan_lock:
             return len(self._plan_cache)
+
+    # -- replication ----------------------------------------------------------
+    # The replica half of WAL shipping (repro.rdb.replication): shipped
+    # records and bootstrap snapshots enter the database here, under the
+    # same write lock and publish-after-release discipline as local
+    # writes, so readers and cache invalidation see replicated commits
+    # exactly the way the primary's own readers see local ones.
+
+    @property
+    def last_lsn(self) -> int:
+        """The engine's last committed (or last applied) LSN.
+
+        On a primary this is the *write token* a router hands to the
+        client after a write; on a replica, the replay position a wait
+        token is compared against."""
+        return self.engine.last_lsn
+
+    def apply_replicated(self, record) -> "CommitEvent | None":
+        """Apply one shipped commit record to a replica database.
+
+        Returns the published :class:`~repro.rdb.engine.CommitEvent`,
+        or ``None`` when the record was a duplicate (normal after a
+        reconnect — shipping is at-least-once, application is
+        idempotent).  DDL the record carries invalidates the affected
+        cached plans, the same scoping local DDL gets.
+        """
+        self._rwlock.acquire_write()
+        try:
+            event = self.engine.apply_commit_record(record)
+            if event is not None:
+                ddl_tables = _ddl_tables(record.ops)
+                if ddl_tables is ALL_TABLES:
+                    with self._plan_lock:
+                        self._plan_cache.clear()
+                elif ddl_tables:
+                    self._invalidate_plans(ddl_tables)
+        finally:
+            self._rwlock.release_write()
+        if event is not None:
+            self.engine.commit_stream.publish(event)
+            with self._lsn_cond:
+                self._lsn_cond.notify_all()
+        return event
+
+    def install_replica_state(self, lsn: int, tables: dict) -> None:
+        """Replace a replica's whole state with a bootstrap snapshot.
+
+        Every cached plan is dropped (they hold references to the old
+        table stores) and a ``bootstrap`` commit event is published so
+        every cache level flushes rather than invalidating per entity.
+        """
+        self._rwlock.acquire_write()
+        try:
+            event = self.engine.install_tables(lsn, tables)
+            with self._plan_lock:
+                self._plan_cache.clear()
+        finally:
+            self._rwlock.release_write()
+        self.engine.commit_stream.publish(event)
+        with self._lsn_cond:
+            self._lsn_cond.notify_all()
+
+    def wait_for_lsn(self, lsn: int, timeout: float = 5.0) -> bool:
+        """Block until ``last_lsn >= lsn``; the read side of an LSN wait
+        token.  True on success, False on timeout (the caller decides —
+        the fleet's replica gate answers 503 rather than serve a read
+        older than the client's own write)."""
+        deadline = time.monotonic() + timeout
+        with self._lsn_cond:
+            while self.engine.last_lsn < lsn:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._lsn_cond.wait(remaining)
+        return True
 
     def explain(self, sql: str) -> str:
         """EXPLAIN-style plan text for a SELECT (debugging aid for the

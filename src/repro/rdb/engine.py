@@ -73,14 +73,18 @@ class CommitEvent:
 
     ``ops`` are the typed redo records (see
     :class:`repro.rdb.wal.CommitRecord`), ``tables`` the names they
-    touch.  Cache invalidation only needs ``tables``; replication will
-    ship the full ``ops``.
+    touch.  Cache invalidation only needs ``tables``; replication ships
+    the full ``ops``.  A ``bootstrap`` event marks a wholesale state
+    replacement (a replica installing a snapshot): no per-entity write
+    set is meaningful, so subscribers should flush rather than
+    invalidate selectively.
     """
 
     lsn: int
     tables: frozenset
     ops: tuple
     durable: bool = False
+    bootstrap: bool = False
 
 
 class CommitStream:
@@ -283,6 +287,36 @@ class StorageEngine:
     def _persist(self, record: CommitRecord) -> None:
         """Durability hook; the in-memory engine keeps nothing."""
 
+    def replay_record(self, record: CommitRecord) -> None:
+        """Replay one committed record's ops into the table registry.
+
+        Shared by crash recovery (a durable engine replaying its own
+        WAL suffix) and replication (a replica applying shipped
+        records): ops are known-good — they committed once — so no
+        constraint re-checks beyond what index rebuilds enforce.
+        """
+        for op in record.ops:
+            opcode = op[0]
+            if opcode == OP_INSERT:
+                self.tables[op[1]].apply_redo_insert(op[2], op[3])
+            elif opcode == OP_UPDATE:
+                self.tables[op[1]].force_row(op[2], op[3])
+            elif opcode == OP_DELETE:
+                self.tables[op[1]].delete_row(op[2])
+            elif opcode == OP_CREATE_TABLE:
+                self.tables[op[1].name] = TableStore(op[1])
+            elif opcode == OP_CREATE_INDEX:
+                self.tables[op[1]].add_index(op[2])
+            elif opcode == OP_DROP_TABLE:
+                del self.tables[op[1]]
+            elif opcode == OP_ANALYZE:
+                targets = (
+                    [self.tables[op[1]]] if op[1] is not None
+                    else list(self.tables.values())
+                )
+                for store in targets:
+                    store.statistics = collect_statistics(store)
+
     # -- mutation records ---------------------------------------------------
     # Called by the logical layer at each write, always inside a
     # statement scope or explicit transaction.
@@ -401,7 +435,7 @@ class DurableEngine(StorageEngine):
                 # leaves already-checkpointed records behind; skip them.
                 stats["wal_records_skipped"] += 1
                 continue
-            self._apply_record(record)
+            self.replay_record(record)
             recovered_lsn = record.lsn
             stats["wal_records_replayed"] += 1
         stats["recovered_lsn"] = recovered_lsn
@@ -425,31 +459,6 @@ class DurableEngine(StorageEngine):
         if os.path.getsize(self.wal_path) > valid_end:
             with open(self.wal_path, "r+b") as handle:
                 handle.truncate(valid_end)
-
-    def _apply_record(self, record: CommitRecord) -> None:
-        """Replay one committed record; ops are known-good, so no
-        constraint re-checks beyond what index rebuilds enforce."""
-        for op in record.ops:
-            opcode = op[0]
-            if opcode == OP_INSERT:
-                self.tables[op[1]].apply_redo_insert(op[2], op[3])
-            elif opcode == OP_UPDATE:
-                self.tables[op[1]].force_row(op[2], op[3])
-            elif opcode == OP_DELETE:
-                self.tables[op[1]].delete_row(op[2])
-            elif opcode == OP_CREATE_TABLE:
-                self.tables[op[1].name] = TableStore(op[1])
-            elif opcode == OP_CREATE_INDEX:
-                self.tables[op[1]].add_index(op[2])
-            elif opcode == OP_DROP_TABLE:
-                del self.tables[op[1]]
-            elif opcode == OP_ANALYZE:
-                targets = (
-                    [self.tables[op[1]]] if op[1] is not None
-                    else list(self.tables.values())
-                )
-                for store in targets:
-                    store.statistics = collect_statistics(store)
 
     # -- durability ---------------------------------------------------------
 

@@ -71,10 +71,13 @@ def _bare_schema(schema: TableSchema) -> TableSchema:
     )
 
 
-def write_snapshot(path: str, lsn: int, tables: dict[str, TableStore]) -> int:
-    """Atomically write a snapshot of ``tables`` at commit ``lsn``.
+def snapshot_bytes(lsn: int, tables: dict[str, TableStore]) -> bytes:
+    """Serialize ``tables`` at commit ``lsn`` to the snapshot format.
 
-    Returns the snapshot size in bytes.
+    The same blob a snapshot file holds, without touching disk — the
+    replication bootstrap ships it over a socket, and the replica
+    identity oracle compares two engines byte for byte by comparing
+    their serializations.
     """
     body = io.BytesIO()
     body.write(_U64.pack(lsn))
@@ -96,7 +99,15 @@ def write_snapshot(path: str, lsn: int, tables: dict[str, TableStore]) -> int:
             body.write(_U64.pack(row_id))
             write_row(body, row)
     payload = body.getvalue()
-    blob = MAGIC + _U32.pack(zlib.crc32(payload)) + payload
+    return MAGIC + _U32.pack(zlib.crc32(payload)) + payload
+
+
+def write_snapshot(path: str, lsn: int, tables: dict[str, TableStore]) -> int:
+    """Atomically write a snapshot of ``tables`` at commit ``lsn``.
+
+    Returns the snapshot size in bytes.
+    """
+    blob = snapshot_bytes(lsn, tables)
     tmp_path = path + ".tmp"
     with open(tmp_path, "wb") as handle:
         handle.write(blob)
@@ -122,12 +133,22 @@ def load_snapshot(path: str) -> tuple[int, dict[str, TableStore]]:
     """
     with open(path, "rb") as handle:
         blob = handle.read()
+    return load_snapshot_bytes(blob, origin=path)
+
+
+def load_snapshot_bytes(blob: bytes,
+                        origin: str = "<bytes>") -> tuple[int, dict[str, TableStore]]:
+    """Rebuild table stores from an in-memory snapshot blob.
+
+    ``origin`` only labels error messages (a file path, or the peer a
+    replication bootstrap came from).
+    """
     if not blob.startswith(MAGIC) or len(blob) < len(MAGIC) + 4:
-        raise DatabaseError(f"not a snapshot file: {path!r}")
+        raise DatabaseError(f"not a snapshot file: {origin!r}")
     (crc,) = _U32.unpack_from(blob, len(MAGIC))
     payload = blob[len(MAGIC) + 4:]
     if zlib.crc32(payload) != crc:
-        raise DatabaseError(f"corrupt snapshot (CRC mismatch): {path!r}")
+        raise DatabaseError(f"corrupt snapshot (CRC mismatch): {origin!r}")
     buf = io.BytesIO(payload)
     (lsn,) = _U64.unpack(buf.read(8))
     (n_tables,) = _U32.unpack(buf.read(4))

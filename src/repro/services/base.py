@@ -161,6 +161,12 @@ class RuntimeContext:
             self.commit_invalidation_enabled = True
 
     def _on_commit_event(self, event) -> None:
+        if getattr(event, "bootstrap", False):
+            # A replica installed a whole snapshot: no per-entity write
+            # set exists, so every cache level flushes outright.
+            self.commit_invalidations += 1
+            self.invalidation_bus.flush()
+            return
         entities: set[str] = set()
         for table in event.tables:
             entities.update(

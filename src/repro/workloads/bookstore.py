@@ -178,3 +178,33 @@ def build_bookstore_application(view_renderer=None,
     app.ctx.stats.reset()
     app.database.stats.reset()
     return app, oids
+
+
+def bean_content_renderer(page_result, request, controller) -> str:
+    """A view that serializes bean *content* as JSON, so consistency
+    probes (E13's mixed workload, E21's staleness oracle) can read the
+    served values straight out of the response body."""
+    import json
+
+    payload = {
+        bean.name: {"current": bean.current, "from_cache": bean.from_cache}
+        for bean in page_result.beans.values()
+    }
+    return json.dumps(payload, default=str)
+
+
+def build_bookstore_replica(database) -> WebApplication:
+    """Fleet-worker factory: the bookstore stack over a replica database.
+
+    Referenced by dotted path
+    (``"repro.workloads.bookstore:build_bookstore_replica"``) from
+    :class:`repro.appserver.fleet.FleetSupervisor`.  No seeding — the
+    data arrived via snapshot bootstrap, and the replica engine would
+    refuse the writes anyway.  Commit invalidation is on so replayed
+    WAL records flush the worker's own cache levels.
+    """
+    app = WebApplication(build_bookstore_model(),
+                         view_renderer=bean_content_renderer,
+                         database=database)
+    app.enable_commit_invalidation()
+    return app

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation lint, run in CI.
 
-Two checks, both cheap and dependency-free:
+Five checks, all cheap and dependency-free:
 
 1. **Module docstrings** — every module under ``src/repro`` must open
    with a docstring (the repo's convention: each module states its
@@ -12,6 +12,18 @@ Two checks, both cheap and dependency-free:
    ``docs/*.md``) must exist on disk, so the docs cannot silently rot
    as files move. External (``http``/``https``/``mailto``) links are
    not fetched.
+3. **Markdown anchors** — a relative link carrying a ``#fragment``
+   (``DESIGN.md#12-the-storage-engine...``, or in-page ``#section``)
+   must name a heading that actually exists in the target file, under
+   GitHub's slug rules (lowercase, punctuation dropped, spaces to
+   hyphens). Renaming a DESIGN.md chapter breaks every stale deep
+   link loudly instead of silently.
+4. **DESIGN.md chapter numbering** — the ``## N. Title`` chapters
+   must run 1, 2, 3, ... with no gaps or duplicates, so a new chapter
+   cannot land misnumbered.
+5. **Required cross-links** — load-bearing "see also" edges the docs
+   promise each other (e.g. ARCHITECTURE.md and OBSERVABILITY.md each
+   link docs/REPLICATION.md) must stay present.
 
 Exit status 0 when clean; 1 with one line per finding otherwise.
 
@@ -35,6 +47,23 @@ MARKDOWN_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs")
 #: inline markdown links: [text](target)
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
+#: markdown headings: leading #'s then the title
+_HEADING = re.compile(r"^(#{1,6})\s+(.*)$", re.MULTILINE)
+
+#: DESIGN.md numbered chapters: "## 12. Title"
+_CHAPTER = re.compile(r"^## (\d+)\.\s", re.MULTILINE)
+
+#: cross-links the documentation set promises itself: (source file,
+#: link target that must appear in some [text](target) in it)
+REQUIRED_LINKS = (
+    ("docs/ARCHITECTURE.md", "REPLICATION.md"),
+    ("docs/OBSERVABILITY.md", "REPLICATION.md"),
+    ("docs/REPLICATION.md", "OBSERVABILITY.md"),
+    ("README.md", "docs/ARCHITECTURE.md"),
+    ("README.md", "docs/OBSERVABILITY.md"),
+    ("README.md", "docs/REPLICATION.md"),
+)
+
 
 def missing_module_docstrings(source_root: Path) -> list[str]:
     """Relative paths of python modules lacking a module docstring."""
@@ -57,22 +86,86 @@ def _markdown_paths() -> list[Path]:
     return paths
 
 
+def github_slug(title: str) -> str:
+    """GitHub's heading→anchor slug, close enough for our headings.
+
+    Lowercase; markdown emphasis/code markers and punctuation dropped;
+    spaces and hyphens collapse to single hyphens.
+    """
+    text = title.strip().lower()
+    text = re.sub(r"[`*_]", "", text)           # inline markup
+    text = re.sub(r"[^\w\- ]", "", text)        # punctuation
+    text = re.sub(r"[ ]+", "-", text)
+    return text
+
+
+def _heading_slugs(path: Path, cache: dict[Path, set[str]]) -> set[str]:
+    if path not in cache:
+        body = _strip_code_fences(path.read_text(encoding="utf-8"))
+        cache[path] = {github_slug(m.group(2)) for m in _HEADING.finditer(body)}
+    return cache[path]
+
+
+def _strip_code_fences(text: str) -> str:
+    """Drop fenced code blocks so ``# comments`` inside them aren't headings."""
+    out, fenced = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            out.append(line)
+    return "\n".join(out)
+
+
 def broken_links(markdown_paths: list[Path]) -> list[str]:
-    """``file: target`` lines for relative link targets that don't exist."""
+    """``file: target`` lines for relative links whose file or anchor is dead."""
     findings = []
+    slug_cache: dict[Path, set[str]] = {}
     for doc in markdown_paths:
         for target in _LINK.findall(doc.read_text(encoding="utf-8")):
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
-            # strip an in-page anchor; the file part must still exist
-            file_part = target.split("#", 1)[0]
-            if not file_part:
-                continue
-            resolved = (doc.parent / file_part).resolve()
+            file_part, _, anchor = target.partition("#")
+            resolved = (doc.parent / file_part).resolve() if file_part else doc
             if not resolved.exists():
                 findings.append(
                     f"{doc.relative_to(REPO_ROOT)}: broken link -> {target}"
                 )
+                continue
+            if anchor and resolved.suffix == ".md":
+                if anchor not in _heading_slugs(resolved, slug_cache):
+                    findings.append(
+                        f"{doc.relative_to(REPO_ROOT)}: dead anchor -> {target}"
+                    )
+    return findings
+
+
+def design_numbering_gaps(design_path: Path) -> list[str]:
+    """Findings when DESIGN.md's ``## N.`` chapters aren't 1..N contiguous."""
+    if not design_path.exists():
+        return [f"{design_path.name}: missing"]
+    numbers = [int(m.group(1)) for m in _CHAPTER.finditer(
+        _strip_code_fences(design_path.read_text(encoding="utf-8")))]
+    expected = list(range(1, len(numbers) + 1))
+    if numbers != expected:
+        return [
+            f"DESIGN.md: chapter numbers {numbers} are not contiguous 1..{len(numbers)}"
+        ]
+    return []
+
+
+def missing_required_links() -> list[str]:
+    """Findings for promised cross-links that no longer exist."""
+    findings = []
+    for source, required in REQUIRED_LINKS:
+        path = REPO_ROOT / source
+        if not path.exists():
+            findings.append(f"{source}: missing (required to link {required})")
+            continue
+        targets = _LINK.findall(path.read_text(encoding="utf-8"))
+        if not any(t.split("#", 1)[0] == required for t in targets):
+            findings.append(f"{source}: required link to {required} not found")
     return findings
 
 
@@ -81,12 +174,15 @@ def main() -> int:
     for path in missing_module_docstrings(SOURCE_ROOT):
         problems.append(f"{path}: missing module docstring")
     problems.extend(broken_links(_markdown_paths()))
+    problems.extend(design_numbering_gaps(REPO_ROOT / "DESIGN.md"))
+    problems.extend(missing_required_links())
     if problems:
         for line in problems:
             print(line)
         print(f"\n{len(problems)} documentation problem(s)")
         return 1
-    print("docs check: all module docstrings present, all relative links resolve")
+    print("docs check: docstrings present, links + anchors resolve, "
+          "DESIGN.md chapters contiguous, required cross-links in place")
     return 0
 
 
