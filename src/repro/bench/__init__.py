@@ -7,6 +7,7 @@ from repro.bench.harness import (
     save_json,
     save_report,
 )
+from repro.bench.plan_scanner import render_report, scan_plan_space
 
 __all__ = [
     "ExperimentReport",
@@ -14,4 +15,6 @@ __all__ = [
     "save_json",
     "report_path",
     "json_path",
+    "scan_plan_space",
+    "render_report",
 ]

@@ -27,13 +27,22 @@ Layering (each module only imports the ones above it):
 - :mod:`repro.rdb.planner` / :mod:`repro.rdb.executor` — cost-based
   planning and execution of SELECT statements (index/range/IN scans,
   filters, hash and nested-loop joins, grouping, sorting, limits),
+- :mod:`repro.rdb.adaptive` — the execution-feedback loop: per-plan
+  cardinality ledgers, learned selectivity corrections the cost model
+  consults, and drift-triggered replan/re-ANALYZE,
 - :mod:`repro.rdb.database` — the logical-layer facade with DDL/DML
   and constraint enforcement over a pluggable engine,
 - :mod:`repro.rdb.connection` — connections, cursors and a pool.
 """
 
+from repro.rdb.adaptive import (
+    AdaptiveController,
+    CardinalityFeedback,
+    SelectivityMemory,
+)
 from repro.rdb.connection import Connection, ConnectionPool, Cursor
 from repro.rdb.database import Database
+from repro.rdb.planner import PlannerFeatures
 from repro.rdb.engine import (
     CommitEvent,
     CommitStream,
@@ -62,6 +71,10 @@ from repro.rdb.types import (
 
 __all__ = [
     "Database",
+    "AdaptiveController",
+    "CardinalityFeedback",
+    "SelectivityMemory",
+    "PlannerFeatures",
     "StorageEngine",
     "MemoryEngine",
     "DurableEngine",

@@ -813,6 +813,9 @@ class ColumnarPipeline:
         shared distinct/sort/limit tail."""
         column_store = self.scan.store.column_store.ensure_synced()
         survivors = self._survivors(column_store, params)
+        # the batch path has exact survivor counts for free; record them
+        # where adaptive feedback / EXPLAIN ANALYZE expect scan actuals
+        self.scan.actual_rows = len(survivors)
         if self.grouped:
             yield from self._execute_grouped(column_store, survivors, params)
             return
@@ -957,7 +960,9 @@ def build_columnar_pipeline(plan):
     specs: list[_KernelSpec] = []
     fallbacks = 0
     for conjunct in _split_conjuncts(root.predicate):
-        selectivity = cost.conjunct_selectivity(root.store, conjunct)
+        selectivity = cost.conjunct_selectivity(
+            root.store, conjunct, getattr(plan, "feedback", None)
+        )
         bind = _compile_conjunct(conjunct, binding, schema)
         if bind is not None:
             specs.append(_KernelSpec(bind, selectivity, True))

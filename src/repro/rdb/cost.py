@@ -30,6 +30,15 @@ When an estimate misleads the planner, the damage is a slower plan,
 never a wrong result; the slow-query log (``repro.obs``) records the
 chosen access path precisely so such plans can be spotted and the
 descriptor query or its indexes tuned.
+
+Every selectivity entry point also accepts an optional ``feedback``
+object (the :class:`repro.rdb.adaptive.SelectivityMemory` duck type:
+``selectivity(table, key) -> float | None`` and
+``join_distinct(table, columns) -> float | None``).  Learned, observed
+selectivities are consulted *before* the statistics fall-backs above —
+this is how execution feedback repairs exactly the estimates the
+uniformity and independence assumptions get wrong (skewed values,
+correlated conjuncts).  ``feedback=None`` keeps the model pure.
 """
 
 from __future__ import annotations
@@ -116,8 +125,19 @@ def _distinct(store, column: str) -> int | None:
     return None
 
 
-def equality_selectivity(store, column: str | None) -> float:
+def _learned(feedback, store, key: tuple) -> float | None:
+    """A learned selectivity for ``key`` on ``store``'s table, if the
+    feedback memory holds one."""
+    if feedback is None:
+        return None
+    return feedback.selectivity(store.schema.name, key)
+
+
+def equality_selectivity(store, column: str | None, feedback=None) -> float:
     if column is not None:
+        learned = _learned(feedback, store, ("eq", column))
+        if learned is not None:
+            return learned
         distinct = _distinct(store, column)
         if distinct is not None:
             return clamp(1.0 / distinct)
@@ -149,10 +169,16 @@ def _interpolate(column_stats, low, high, low_inclusive, high_inclusive) -> floa
 
 def range_selectivity(store, column: str | None, low, high,
                       low_inclusive: bool = True,
-                      high_inclusive: bool = True) -> float:
+                      high_inclusive: bool = True, *,
+                      feedback=None) -> float:
     """Selectivity of ``low <= column <= high`` (either bound optional).
-    Plan-time constants interpolate against ANALYZE min/max; parameter
-    bounds fall back to the fixed range constant."""
+    Learned per-column range selectivity wins; plan-time constants
+    interpolate against ANALYZE min/max; parameter bounds fall back to
+    the fixed range constant."""
+    if column is not None:
+        learned = _learned(feedback, store, ("range", column))
+        if learned is not None:
+            return learned
     if column is not None and store.statistics is not None:
         fraction = _interpolate(
             store.statistics.column(column), low, high,
@@ -173,52 +199,68 @@ def null_selectivity(store, column: str | None, negated: bool) -> float:
     return DEFAULT_EQ_SELECTIVITY
 
 
-def conjunct_selectivity(store, conjunct: Expr) -> float:
+def conjunct_selectivity(store, conjunct: Expr, feedback=None) -> float:
     """Selectivity of one predicate conjunct against ``store``'s rows.
 
     The conjunct is assumed to reference only this table; multi-table
-    conjuncts are estimated by their structure alone.
+    conjuncts are estimated by their structure alone.  A learned
+    whole-conjunct observation (keyed by the conjunct's structural
+    ``repr``) beats any structural estimate.
     """
+    learned = _learned(feedback, store, ("conj", repr(conjunct)))
+    if learned is not None:
+        return learned
     if isinstance(conjunct, Not):
-        return clamp(1.0 - conjunct_selectivity(store, conjunct.operand))
+        return clamp(
+            1.0 - conjunct_selectivity(store, conjunct.operand, feedback)
+        )
     if isinstance(conjunct, Or):
-        left = conjunct_selectivity(store, conjunct.left)
-        right = conjunct_selectivity(store, conjunct.right)
+        left = conjunct_selectivity(store, conjunct.left, feedback)
+        right = conjunct_selectivity(store, conjunct.right, feedback)
         return clamp(left + right - left * right)
     if isinstance(conjunct, Comparison):
         left_col = _column_of(conjunct.left)
         right_col = _column_of(conjunct.right)
         if conjunct.op == "=":
             if left_col is not None and right_col is None:
-                return equality_selectivity(store, left_col)
+                return equality_selectivity(store, left_col, feedback)
             if right_col is not None and left_col is None:
-                return equality_selectivity(store, right_col)
+                return equality_selectivity(store, right_col, feedback)
             return DEFAULT_EQ_SELECTIVITY
         if conjunct.op == "<>":
             column = left_col or right_col
-            return clamp(1.0 - equality_selectivity(store, column))
+            return clamp(1.0 - equality_selectivity(store, column, feedback))
         # range comparison: put the column on the left mentally
         if left_col is not None and right_col is None:
             value = _literal_value(conjunct.right)
             if conjunct.op in ("<", "<="):
-                return range_selectivity(store, left_col, None, value)
-            return range_selectivity(store, left_col, value, None)
+                return range_selectivity(
+                    store, left_col, None, value, feedback=feedback
+                )
+            return range_selectivity(
+                store, left_col, value, None, feedback=feedback
+            )
         if right_col is not None and left_col is None:
             value = _literal_value(conjunct.left)
             if conjunct.op in ("<", "<="):
-                return range_selectivity(store, right_col, value, None)
-            return range_selectivity(store, right_col, None, value)
+                return range_selectivity(
+                    store, right_col, value, None, feedback=feedback
+                )
+            return range_selectivity(
+                store, right_col, None, value, feedback=feedback
+            )
         return DEFAULT_RANGE_SELECTIVITY
     if isinstance(conjunct, Between):
         column = _column_of(conjunct.operand)
         selectivity = range_selectivity(
             store, column,
             _literal_value(conjunct.low), _literal_value(conjunct.high),
+            feedback=feedback,
         )
         return clamp(1.0 - selectivity) if conjunct.negated else selectivity
     if isinstance(conjunct, InList):
         column = _column_of(conjunct.operand)
-        per_value = equality_selectivity(store, column)
+        per_value = equality_selectivity(store, column, feedback)
         selectivity = clamp(per_value * len(conjunct.options))
         return clamp(1.0 - selectivity) if conjunct.negated else selectivity
     if isinstance(conjunct, IsNull):
@@ -233,17 +275,36 @@ def conjunct_selectivity(store, conjunct: Expr) -> float:
     return DEFAULT_SELECTIVITY
 
 
-def conjuncts_selectivity(store, conjuncts) -> float:
-    """Independence-assumption product over a conjunct list."""
+def conjuncts_selectivity(store, conjuncts, feedback=None) -> float:
+    """Independence-assumption product over a conjunct list.
+
+    When feedback holds a *set-level* observation for exactly this
+    conjunct set, it wins outright — set entries are the one place
+    correlation between conjuncts (which independence cannot price) is
+    representable.
+    """
+    conjuncts = list(conjuncts)
+    if feedback is not None and len(conjuncts) > 1:
+        key = ("set", tuple(sorted(repr(c) for c in conjuncts)))
+        learned = _learned(feedback, store, key)
+        if learned is not None:
+            return learned
     selectivity = 1.0
     for conjunct in conjuncts:
-        selectivity *= conjunct_selectivity(store, conjunct)
+        selectivity *= conjunct_selectivity(store, conjunct, feedback)
     return clamp(selectivity)
 
 
-def join_distinct(store, columns: tuple[str, ...]) -> float:
-    """Estimated distinct key count on the build side of an equi-join."""
+def join_distinct(store, columns: tuple[str, ...],
+                  feedback=None) -> float:
+    """Estimated distinct key count on the build side of an equi-join.
+    A learned *effective* distinct count (solved from observed join
+    fan-out) beats the structural estimates below."""
     row_count = max(1, len(store.rows))
+    if feedback is not None:
+        learned = feedback.join_distinct(store.schema.name, tuple(columns))
+        if learned is not None:
+            return learned
     for _name, index in store.iter_indexes():
         if index.unique and index.columns == tuple(columns):
             return float(row_count)

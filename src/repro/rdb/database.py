@@ -15,9 +15,10 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import IntegrityError, QueryError, SchemaError
+from repro.rdb.adaptive import AdaptiveController
 from repro.rdb.engine import DurableEngine, MemoryEngine, StorageEngine
 from repro.rdb.executor import ResultSet, RowScope
-from repro.rdb.planner import SelectPlan
+from repro.rdb.planner import PlannerFeatures, SelectPlan
 from repro.rdb.schema import ForeignKey, TableSchema
 from repro.rdb.sqlparser import (
     Analyze,
@@ -174,6 +175,10 @@ class Database:
             "expr_fallbacks": 0,
             "compile_seconds_total": 0.0,
         }
+        #: the adaptive-execution feedback loop (repro.rdb.adaptive):
+        #: cardinality ledgers per cached plan, learned selectivities
+        #: the planner consults, drift-triggered replan/re-ANALYZE
+        self.adaptive = AdaptiveController(self)
 
     # -- storage-engine boundary -------------------------------------------
 
@@ -283,6 +288,7 @@ class Database:
                 compile_stats["compile_seconds_total"] * 1000.0, 3
             ),
             "columnar": self._columnar_stats(),
+            "adaptive": self.adaptive.stats(),
             "slow_queries": self.slow_log.stats(),
         }
 
@@ -584,12 +590,18 @@ class Database:
         caller's probe and here — re-parses the text under the read
         lock, so a stale hint can cost a parse but never a wrong or
         poisoned plan."""
+        # Queued drift re-ANALYZEs (and growth checks, when the AST is in
+        # hand) run first — they need the write lock, which cannot be
+        # taken once we hold the read side below.
+        self.adaptive.preflight(statement)
         started = time.perf_counter()  # spans include the simulated wire
         if self.io_delay:
             time.sleep(self.io_delay)  # the wire, not the engine: no lock held
         with self._rwlock.read_locked():
             plan = self._plan(statement, cache_key)
             result = plan.execute(params)
+        if cache_key is not None:
+            self.adaptive.observe(cache_key, plan)
         self.stats.increment("selects")
         if plan.exec_mode == "interpreted":
             self.stats.increment("selects_interpreted")
@@ -626,7 +638,9 @@ class Database:
             if not isinstance(statement, Select):
                 raise QueryError(f"expected a SELECT: {cache_key!r}")
             select = statement
-        plan = self._note_plan_built(SelectPlan(select, self.tables))
+        plan = self._note_plan_built(
+            SelectPlan(select, self.tables, feedback=self.adaptive.memory)
+        )
         if cache_key is not None:
             with self._plan_lock:
                 # Concurrent planners of the same statement: first in wins,
@@ -645,6 +659,12 @@ class Database:
             ]
             for key in stale:
                 del self._plan_cache[key]
+
+    def _drop_plan(self, cache_key: str) -> None:
+        """Drop one cached plan (adaptive drift marked it stale); the
+        statement re-plans — and recompiles — on its next execution."""
+        with self._plan_lock:
+            self._plan_cache.pop(cache_key, None)
 
     def cached_plan_count(self) -> int:
         with self._plan_lock:
@@ -725,15 +745,26 @@ class Database:
                 self._lsn_cond.wait(remaining)
         return True
 
-    def explain(self, sql: str) -> str:
+    def explain(self, sql: str, params: dict | None = None,
+                analyze: bool = False) -> str:
         """EXPLAIN-style plan text for a SELECT (debugging aid for the
         §6 descriptor-query tuning workflow); the cost-based plan comes
-        annotated with estimated rows/cost per operator."""
-        return self.prepare(sql).explain()
+        annotated with estimated rows/cost per operator.
+
+        ``analyze=True`` executes the statement first (with ``params``)
+        and annotates each operator with its actual row count and
+        q-error — the misestimate-debugging view (see
+        docs/OBSERVABILITY.md)."""
+        plan = self.prepare(sql)
+        if analyze:
+            with self._rwlock.read_locked():
+                plan.execute(params)
+        return plan.explain(analyze=analyze)
 
     def prepare(self, sql: str, optimize: bool = True,
                 compiled: bool | None = None,
-                columnar: bool | None = None) -> SelectPlan:
+                columnar: bool | None = None,
+                features: PlannerFeatures | None = None) -> SelectPlan:
         """Compile a SELECT once for repeated execution (generic
         services).  ``optimize=False`` builds the naive seed plan — full
         scans, declared join order, interpreted evaluation — bypassing
@@ -745,7 +776,9 @@ class Database:
         forces the batch pipeline when the plan shape allows it,
         ``False`` pins row execution (both uncached, like the other
         baseline modes); ``None`` lets the cost model decide and caches
-        normally — E20 and the four-way oracle drive all four modes."""
+        normally — E20 and the four-way oracle drive all four modes.
+        ``features`` switches individual planner decisions off (always
+        uncached) — the plan-space scanner's probe surface."""
         statement = parse_sql(sql)
         if not isinstance(statement, Select):
             raise QueryError(f"prepare() only accepts SELECT: {sql!r}")
@@ -753,10 +786,14 @@ class Database:
             return self._note_plan_built(
                 SelectPlan(statement, self.tables, optimize=False)
             )
-        if compiled is False or columnar is not None:
+        # Growth-triggered (and queued drift) re-ANALYZE before planning,
+        # so bulk loads stop planning against empty-table statistics.
+        self.adaptive.preflight(statement)
+        if compiled is False or columnar is not None or features is not None:
             return self._note_plan_built(
                 SelectPlan(statement, self.tables, compiled=compiled,
-                           columnar=columnar)
+                           columnar=columnar, feedback=self.adaptive.memory,
+                           features=features)
             )
         return self._plan(statement, sql)
 

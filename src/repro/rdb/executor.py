@@ -67,6 +67,10 @@ class Operator:
     #: plan was built without estimation, e.g. naive mode)
     est_rows: float | None = None
     est_cost: float | None = None
+    #: rows produced by the most recent execution (set in a finally so
+    #: a generator abandoned early — LIMIT — still records its partial
+    #: count); feeds adaptive cardinality feedback and EXPLAIN ANALYZE
+    actual_rows: int | None = None
 
     def rows(self, params: dict) -> Iterator[Bindings]:
         raise NotImplementedError
@@ -204,34 +208,42 @@ class ScanOp(Operator):
     def matching_rows(self, params: dict) -> Iterator[dict]:
         """The scan's raw row dicts (no binding map) — the substrate of
         both :meth:`rows` and the plan-level fused pipeline."""
-        row_ids = self._candidate_row_ids(params)
-        if row_ids is None:
-            # Iterate over a snapshot of ids so DML during iteration is safe.
-            candidates = list(self.store.rows)
-        else:
-            candidates = sorted(row_ids)
-        lookup = self.store.rows
-        predicate = self.predicate
-        if predicate is None:
+        produced = 0
+        try:
+            row_ids = self._candidate_row_ids(params)
+            if row_ids is None:
+                # Iterate over a snapshot of ids so DML during iteration
+                # is safe.
+                candidates = list(self.store.rows)
+            else:
+                candidates = sorted(row_ids)
+            lookup = self.store.rows
+            predicate = self.predicate
+            if predicate is None:
+                for row_id in candidates:
+                    row = lookup.get(row_id)
+                    if row is not None:
+                        produced += 1
+                        yield row
+                return
+            compiled = self.compiled_predicate
+            if compiled is not None:
+                for row_id in candidates:
+                    row = lookup.get(row_id)
+                    if row is not None and compiled(row, params) is True:
+                        produced += 1
+                        yield row
+                return
             for row_id in candidates:
                 row = lookup.get(row_id)
-                if row is not None:
+                if row is None:
+                    continue
+                scope = RowScope({self.binding: row}, self._scope_columns)
+                if predicate.evaluate(scope, params) is True:
+                    produced += 1
                     yield row
-            return
-        compiled = self.compiled_predicate
-        if compiled is not None:
-            for row_id in candidates:
-                row = lookup.get(row_id)
-                if row is not None and compiled(row, params) is True:
-                    yield row
-            return
-        for row_id in candidates:
-            row = lookup.get(row_id)
-            if row is None:
-                continue
-            scope = RowScope({self.binding: row}, self._scope_columns)
-            if predicate.evaluate(scope, params) is True:
-                yield row
+        finally:
+            self.actual_rows = produced
 
     def rows(self, params: dict) -> Iterator[Bindings]:
         binding = self.binding
@@ -256,16 +268,22 @@ class FilterOp(Operator):
         return [self.child]
 
     def rows(self, params: dict) -> Iterator[Bindings]:
-        compiled = self.compiled_predicate
-        if compiled is not None:
+        produced = 0
+        try:
+            compiled = self.compiled_predicate
+            if compiled is not None:
+                for bindings in self.child.rows(params):
+                    if compiled(bindings, params) is True:
+                        produced += 1
+                        yield bindings
+                return
             for bindings in self.child.rows(params):
-                if compiled(bindings, params) is True:
+                scope = RowScope(bindings, self.columns_by_binding)
+                if self.predicate.evaluate(scope, params) is True:
+                    produced += 1
                     yield bindings
-            return
-        for bindings in self.child.rows(params):
-            scope = RowScope(bindings, self.columns_by_binding)
-            if self.predicate.evaluate(scope, params) is True:
-                yield bindings
+        finally:
+            self.actual_rows = produced
 
 
 class NestedLoopJoinOp(Operator):
@@ -322,25 +340,31 @@ class NestedLoopJoinOp(Operator):
         return kept
 
     def rows(self, params: dict) -> Iterator[Bindings]:
-        right_rows = self._inner_rows(params)
-        condition = self.compiled_condition
-        for bindings in self.left.rows(params):
-            matched = False
-            for row in right_rows:
-                candidate = dict(bindings)
-                candidate[self.binding] = row
-                if condition is not None:
-                    verdict = condition(candidate, params)
-                else:
-                    scope = RowScope(candidate, self.columns_by_binding)
-                    verdict = self.condition.evaluate(scope, params)
-                if verdict is True:
-                    matched = True
-                    yield candidate
-            if not matched and self.kind == "left":
-                padded = dict(bindings)
-                padded[self.binding] = None
-                yield padded
+        produced = 0
+        try:
+            right_rows = self._inner_rows(params)
+            condition = self.compiled_condition
+            for bindings in self.left.rows(params):
+                matched = False
+                for row in right_rows:
+                    candidate = dict(bindings)
+                    candidate[self.binding] = row
+                    if condition is not None:
+                        verdict = condition(candidate, params)
+                    else:
+                        scope = RowScope(candidate, self.columns_by_binding)
+                        verdict = self.condition.evaluate(scope, params)
+                    if verdict is True:
+                        matched = True
+                        produced += 1
+                        yield candidate
+                if not matched and self.kind == "left":
+                    padded = dict(bindings)
+                    padded[self.binding] = None
+                    produced += 1
+                    yield padded
+        finally:
+            self.actual_rows = produced
 
 
 class HashJoinOp(Operator):
@@ -387,58 +411,66 @@ class HashJoinOp(Operator):
         return [self.left]
 
     def rows(self, params: dict) -> Iterator[Bindings]:
-        table: dict[tuple, list[dict]] = {}
-        prefilter = self.prefilter
-        compiled_prefilter = self.compiled_prefilter
-        build_key = self.compiled_build_key
-        for row in self.store.rows.values():
-            if prefilter is not None:
-                if compiled_prefilter is not None:
-                    if compiled_prefilter(row, params) is not True:
-                        continue
-                else:
-                    scope = RowScope({self.binding: row}, self._own_columns)
-                    if prefilter.evaluate(scope, params) is not True:
-                        continue
-            if build_key is not None:
-                key = build_key(row)
-            else:
-                key = tuple(row[c] for c in self.build_columns)
-            if any(v is None for v in key):
-                continue
-            table.setdefault(key, []).append(row)
-        probe = self.compiled_probe
-        residual = self.residual
-        compiled_residual = self.compiled_residual
-        for bindings in self.left.rows(params):
-            if probe is not None:
-                key = probe(bindings, params)
-            else:
-                scope = RowScope(bindings, self.columns_by_binding)
-                key = tuple(
-                    expr.evaluate(scope, params) for expr in self.probe_exprs
-                )
-            matched = False
-            if not any(v is None for v in key):
-                for row in table.get(key, ()):
-                    candidate = dict(bindings)
-                    candidate[self.binding] = row
-                    if residual is not None:
-                        if compiled_residual is not None:
-                            verdict = compiled_residual(candidate, params)
-                        else:
-                            residual_scope = RowScope(
-                                candidate, self.columns_by_binding
-                            )
-                            verdict = residual.evaluate(residual_scope, params)
-                        if verdict is not True:
+        produced = 0
+        try:
+            table: dict[tuple, list[dict]] = {}
+            prefilter = self.prefilter
+            compiled_prefilter = self.compiled_prefilter
+            build_key = self.compiled_build_key
+            for row in self.store.rows.values():
+                if prefilter is not None:
+                    if compiled_prefilter is not None:
+                        if compiled_prefilter(row, params) is not True:
                             continue
-                    matched = True
-                    yield candidate
-            if not matched and self.kind == "left":
-                padded = dict(bindings)
-                padded[self.binding] = None
-                yield padded
+                    else:
+                        scope = RowScope({self.binding: row}, self._own_columns)
+                        if prefilter.evaluate(scope, params) is not True:
+                            continue
+                if build_key is not None:
+                    key = build_key(row)
+                else:
+                    key = tuple(row[c] for c in self.build_columns)
+                if any(v is None for v in key):
+                    continue
+                table.setdefault(key, []).append(row)
+            probe = self.compiled_probe
+            residual = self.residual
+            compiled_residual = self.compiled_residual
+            for bindings in self.left.rows(params):
+                if probe is not None:
+                    key = probe(bindings, params)
+                else:
+                    scope = RowScope(bindings, self.columns_by_binding)
+                    key = tuple(
+                        expr.evaluate(scope, params) for expr in self.probe_exprs
+                    )
+                matched = False
+                if not any(v is None for v in key):
+                    for row in table.get(key, ()):
+                        candidate = dict(bindings)
+                        candidate[self.binding] = row
+                        if residual is not None:
+                            if compiled_residual is not None:
+                                verdict = compiled_residual(candidate, params)
+                            else:
+                                residual_scope = RowScope(
+                                    candidate, self.columns_by_binding
+                                )
+                                verdict = residual.evaluate(
+                                    residual_scope, params
+                                )
+                            if verdict is not True:
+                                continue
+                        matched = True
+                        produced += 1
+                        yield candidate
+                if not matched and self.kind == "left":
+                    padded = dict(bindings)
+                    padded[self.binding] = None
+                    produced += 1
+                    yield padded
+        finally:
+            self.actual_rows = produced
 
 
 # ---------------------------------------------------------------------------

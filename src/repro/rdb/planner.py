@@ -27,12 +27,20 @@ Planning is cost-based (:mod:`repro.rdb.cost`):
 ``optimize=False`` rebuilds the seed's naive plan — full scans except
 exact-equality index matches, declared join order, one final WHERE
 filter — which E14 uses as its baseline.
+
+Two optional inputs refine cost-based planning without touching
+semantics: ``feedback`` (a :class:`repro.rdb.adaptive.SelectivityMemory`)
+lets every selectivity estimate consult observed execution counts before
+statistics, and ``features`` (:class:`PlannerFeatures`) switches
+individual planner decisions off — the plan-space scanner uses it to
+measure what each decision is worth and where the cost model lies.
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Mapping
+from dataclasses import dataclass
 
 from repro.errors import QueryError
 from repro.rdb import cost
@@ -91,13 +99,48 @@ def _constant(expr: Expr) -> bool:
     return not expr.column_refs()
 
 
+@dataclass(frozen=True)
+class PlannerFeatures:
+    """Individually defeatable planner decisions.
+
+    All on by default.  Turning one off never changes results (every
+    conjunct is still checked somewhere); it changes plan shape, which
+    is exactly what the plan-space scanner measures.
+    """
+
+    #: greedy cardinality-driven join reordering (off: declared order)
+    join_reorder: bool = True
+    #: index access-path selection (off: every scan walks the heap)
+    access_paths: bool = True
+    #: single-table predicate pushdown from WHERE/ON onto scans and
+    #: build-side prefilters (off: one final filter; LEFT-join ON
+    #: prefilters keep their placement — that is semantics, not tuning)
+    pushdown: bool = True
+
+
+DEFAULT_FEATURES = PlannerFeatures()
+
+
 class SelectPlan:
     def __init__(self, select: Select, stores: Mapping[str, TableStore],
                  optimize: bool = True, compiled: bool | None = None,
-                 columnar: bool | None = None):
+                 columnar: bool | None = None, feedback=None,
+                 features: PlannerFeatures | None = None):
         self.select = select
         self.stores = stores
         self.optimize = optimize
+        #: adaptive selectivity memory consulted by every cost estimate;
+        #: the naive seed plan stays feedback-blind so it remains a
+        #: stable byte-identity oracle
+        self.feedback = feedback if optimize else None
+        self.features = features if features is not None else DEFAULT_FEATURES
+        #: the caller's layout/compile requests, kept for access-path
+        #: costing (a seq scan that will run columnar is priced as such)
+        self._columnar_hint = columnar
+        self._compiled_hint = compiled
+        #: adaptive feedback records this plan's executions: cost-based
+        #: plans without LIMIT (abandoned generators under-count actuals)
+        self.feedback_eligible = optimize and select.limit is None
         self.columns_by_binding: dict[str, list[str]] = {}
         self._binding_order: list[str] = []
         self._table_by_binding: dict[str, str] = {}
@@ -311,6 +354,15 @@ class SelectPlan:
                 return conjunct.options
         return None
 
+    def _columnar_candidate(self) -> bool:
+        """Whether a seq scan in this plan could run through the batch
+        kernels — single-binding plans with compilation on and columnar
+        not pinned off (mirrors the layout decision in ``__init__``)."""
+        if len(self._binding_order) != 1 or self._columnar_hint is False:
+            return False
+        compiled = self._compiled_hint
+        return bool(self.optimize if compiled is None else compiled)
+
     def _choose_access_path(
         self, store: TableStore, conjuncts: list[Expr]
     ) -> tuple[AccessPath, float, float]:
@@ -320,10 +372,19 @@ class SelectPlan:
         An empty (typically not-yet-seeded) table is costed as if it had
         a few rows, so a plan cached before the bulk load still picks
         the index it will want afterwards."""
+        feedback = self.feedback
         live = len(store.rows) or 10
-        output = live * cost.conjuncts_selectivity(store, conjuncts)
+        output = live * cost.conjuncts_selectivity(store, conjuncts, feedback)
         best_path = AccessPath()
         best_cost = float(live)
+        if self._columnar_candidate():
+            # A seq scan here would run through the columnar kernels, so
+            # price it as such: this is the lever that lets a learned
+            # low-selectivity correction beat an index probe that must
+            # still touch most of the table row-at-a-time.
+            best_cost = min(best_cost, cost.columnar_scan_cost(live))
+        if not self.features.access_paths:
+            return best_path, output, best_cost
         equalities = self._local_equalities(store, conjuncts)
         for name, index in store.iter_indexes():
             prefix_exprs: list[Expr] = []
@@ -333,7 +394,9 @@ class SelectPlan:
                 if expr is None:
                     break
                 prefix_exprs.append(expr)
-                prefix_selectivity *= cost.equality_selectivity(store, column)
+                prefix_selectivity *= cost.equality_selectivity(
+                    store, column, feedback
+                )
             width = len(prefix_exprs)
             if width:
                 matching = live * prefix_selectivity
@@ -356,7 +419,7 @@ class SelectPlan:
                     store, next_column,
                     low.value if isinstance(low, Literal) else None,
                     high.value if isinstance(high, Literal) else None,
-                    low_inc, high_inc,
+                    low_inc, high_inc, feedback=feedback,
                 )
                 matching = live * prefix_selectivity * range_selectivity
                 candidate_cost = cost.INDEX_PROBE_COST + matching
@@ -371,7 +434,9 @@ class SelectPlan:
                     )
             in_options = self._local_in_list(next_column, conjuncts)
             if in_options:
-                per_value = cost.equality_selectivity(store, next_column)
+                per_value = cost.equality_selectivity(
+                    store, next_column, feedback
+                )
                 selectivity = cost.clamp(
                     prefix_selectivity * per_value * len(in_options)
                 )
@@ -421,7 +486,7 @@ class SelectPlan:
         for binding in self._binding_order:
             store = self._binding_store(binding)
             estimates[binding] = len(store.rows) * cost.conjuncts_selectivity(
-                store, local[binding]
+                store, local[binding], self.feedback
             )
         return estimates
 
@@ -457,7 +522,9 @@ class SelectPlan:
                 if not build_columns:
                     continue
                 store = self._binding_store(candidate)
-                distinct = cost.join_distinct(store, tuple(build_columns))
+                distinct = cost.join_distinct(
+                    store, tuple(build_columns), self.feedback
+                )
                 output = cardinality * estimates[candidate] / max(distinct, 1.0)
                 key = (output, position[candidate])
                 if best is None or key < best[0]:
@@ -477,9 +544,16 @@ class SelectPlan:
         for join in select.joins:
             pool.extend(_conjuncts(join.condition))
         local, multi, leftover = self._classify(pool)
+        if not self.features.pushdown:
+            # Single-table conjuncts stay in the final filter instead of
+            # riding down to scans and build sides (parameter-only ones
+            # included — inner-join semantics make the move safe).
+            for binding in self._binding_order:
+                leftover.extend(local[binding])
+                local[binding] = []
 
         order = self._binding_order
-        if len(order) > 1:
+        if len(order) > 1 and self.features.join_reorder:
             greedy = self._greedy_order(local, multi)
             if greedy is not None:
                 order = greedy
@@ -529,16 +603,20 @@ class SelectPlan:
                     residual.append(conjunct)
             prefilter = _and_all(local[binding])
             build_est = len(store.rows) * cost.conjuncts_selectivity(
-                store, local[binding]
+                store, local[binding], self.feedback
             )
-            residual_selectivity = cost.conjuncts_selectivity(store, residual)
+            residual_selectivity = cost.conjuncts_selectivity(
+                store, residual, self.feedback
+            )
             if probe_exprs:
                 root = HashJoinOp(
                     root, store, binding, tuple(probe_exprs),
                     tuple(build_columns), _and_all(residual), "inner",
                     self.columns_by_binding, prefilter,
                 )
-                distinct = cost.join_distinct(store, tuple(build_columns))
+                distinct = cost.join_distinct(
+                    store, tuple(build_columns), self.feedback
+                )
                 output = (cardinality * build_est / max(distinct, 1.0)
                           * residual_selectivity)
                 step_cost = (
@@ -580,6 +658,13 @@ class SelectPlan:
         for binding in left_bindings:
             final.extend(local.pop(binding, []))
             local[binding] = []
+        if not self.features.pushdown:
+            # WHERE conjuncts stay in the final filter; LEFT-join ON
+            # prefilters below keep their placement (semantics, not a
+            # tunable decision).
+            for binding in self._binding_order:
+                final.extend(local[binding])
+                local[binding] = []
         placed_multi: list[tuple[Expr, frozenset[str]]] = []
         for conjunct, bindings in multi:
             if bindings & left_bindings:
@@ -630,7 +715,7 @@ class SelectPlan:
                 unplaced = still
             prefilter = _and_all(prefilter_parts)
             build_est = len(store.rows) * cost.conjuncts_selectivity(
-                store, prefilter_parts
+                store, prefilter_parts, self.feedback
             )
             if probe_exprs:
                 root = HashJoinOp(
@@ -638,7 +723,9 @@ class SelectPlan:
                     tuple(build_columns), _and_all(residual), join.kind,
                     self.columns_by_binding, prefilter,
                 )
-                distinct = cost.join_distinct(store, tuple(build_columns))
+                distinct = cost.join_distinct(
+                    store, tuple(build_columns), self.feedback
+                )
                 output = cardinality * build_est / max(distinct, 1.0)
                 step_cost = (
                     len(store.rows) * cost.HASH_BUILD_COST
@@ -887,12 +974,17 @@ class SelectPlan:
             self._access_summary = summary
         return summary
 
-    def explain(self) -> str:
+    def explain(self, analyze: bool = False) -> str:
         """A textual plan tree: the executor's post-processing steps
         (limit/sort/distinct/grouping) wrap the operator tree, which is
         printed root-first with children indented below.  Cost-based
         plans annotate each operator with estimated rows/cost and each
-        scan with the columns the query needs from it."""
+        scan with the columns the query needs from it.
+
+        ``analyze=True`` adds each operator's ``actual=`` row count from
+        the most recent execution and, where an estimate exists, the
+        ``q=`` error factor (``max(actual/est, est/actual)``) — the
+        caller is expected to have executed the plan first."""
         select = self.select
         lines: list[str] = []
         post = []
@@ -906,11 +998,12 @@ class SelectPlan:
             post.append("GroupAggregate")
         for depth, label in enumerate(post):
             lines.append("  " * depth + label)
-        self._explain_node(self.root, len(post), lines, root=True)
+        self._explain_node(self.root, len(post), lines, root=True,
+                           analyze=analyze)
         return "\n".join(lines)
 
     def _explain_node(self, node, depth: int, lines: list[str],
-                      root: bool = False) -> None:
+                      root: bool = False, analyze: bool = False) -> None:
         label = node.describe()
         annotations = []
         if isinstance(node, ScanOp):
@@ -920,6 +1013,12 @@ class SelectPlan:
         if node.est_rows is not None:
             annotations.append(f"rows~{node.est_rows:.1f}")
             annotations.append(f"cost~{node.est_cost:.1f}")
+        if analyze and node.actual_rows is not None:
+            annotations.append(f"actual={node.actual_rows}")
+            if node.est_rows is not None:
+                est = max(float(node.est_rows), 1.0)
+                act = max(float(node.actual_rows), 1.0)
+                annotations.append(f"q={max(act / est, est / act):.1f}")
         if root:
             # execution mode is a plan-wide property; it annotates the
             # root operator (never a separate line, so line-positional
@@ -931,7 +1030,7 @@ class SelectPlan:
             label += f"  [{' '.join(annotations)}]"
         lines.append("  " * depth + label)
         for child in node.children():
-            self._explain_node(child, depth + 1, lines)
+            self._explain_node(child, depth + 1, lines, analyze=analyze)
 
     def _has_aggregates(self) -> bool:
         if collect_aggregates(self.select.having):
